@@ -1,0 +1,82 @@
+// Ablation: the balanced query mechanism (§4.1) — the source of the bit
+// complexity improvement over Kutten & Peleg [3].
+//
+// "If v.more + v.done + 1 <= |w.local| then v now knows all the
+//  information that w has ... The low bit complexity of the algorithm is
+//  due to this balance.  Leader nodes receive just as many ids as needed
+//  in order to progress.  The trivial solution of receiving all of w's ids
+//  would lead to a higher bit complexity O(|E0| log^2 n)."
+//
+// Reproduction: run the Generic algorithm with balanced queries on vs off
+// across densities and report total bits and the two payload-heavy types.
+// The balanced version's advantage must grow with density (the unbalanced
+// frontier floods the leader's unexplored set, which then travels in every
+// info message up the conquest chain).
+#include <iostream>
+
+#include "common/bitmath.h"
+#include "common/table.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+struct measurement {
+  std::uint64_t total_bits = 0;
+  std::uint64_t qreply_bits = 0;
+  std::uint64_t info_bits = 0;
+  std::uint64_t messages = 0;
+};
+
+measurement run_one(const asyncrd::graph::digraph& g, bool balanced) {
+  using namespace asyncrd;
+  sim::random_delay_scheduler sched(7);
+  core::config cfg;
+  cfg.balanced_queries = balanced;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const auto rep = core::check_final_state(run, g);
+  if (!rep.ok()) {
+    std::cerr << "CHECK FAILED (balanced=" << balanced << ")\n"
+              << rep.to_string();
+    std::exit(1);
+  }
+  return {run.statistics().total_bits(),
+          run.statistics().bits_of("query_reply"),
+          run.statistics().bits_of("info"),
+          run.statistics().total_messages()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Ablation: balanced queries (bit complexity vs [3]) ==\n\n";
+
+  text_table t({"n", "|E0|", "bits (balanced)", "bits (drain-all)",
+                "saving", "info bits bal", "info bits drain"});
+  for (const std::size_t n : {128u, 512u, 2048u}) {
+    for (const std::size_t density : {2u, 8u, 32u}) {
+      const auto g =
+          graph::random_weakly_connected(n, density * n, 17 + n + density);
+      const auto bal = run_one(g, true);
+      const auto drain = run_one(g, false);
+      t.add_row({std::to_string(n), std::to_string(g.edge_count()),
+                 std::to_string(bal.total_bits),
+                 std::to_string(drain.total_bits),
+                 fmt_ratio(static_cast<double>(drain.total_bits),
+                           static_cast<double>(bal.total_bits)),
+                 std::to_string(bal.info_bits),
+                 std::to_string(drain.info_bits)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: §4.1 — the balanced version's bit saving should"
+               " grow with edge density (the 'saving' column increases\n"
+               "left to right within each n), driven by the info-message"
+               " payloads that the balance keeps at O(n log^2 n) total.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: the two design choices the paper imports from Union-Find —
+// path compression (release messages rewrite next pointers, §4.2) and the
+// phase mechanism (union by rank, §4.4) — evaluated both in the distributed
+// engine and in the sequential DSU they mirror.
+//
+// Workload: sequential wake-ups on an in-star, the regime where a naive
+// implementation degenerates to Theta(n^2) routing hops.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/adversary.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "unionfind/dsu.h"
+
+namespace {
+
+std::uint64_t engine_cost(std::size_t n, bool compression, bool phases) {
+  using namespace asyncrd;
+  const auto g = graph::star_in(n);
+  core::sequential_wakeup_scheduler sched(g.nodes());
+  core::config cfg;
+  cfg.algo = core::variant::adhoc;
+  cfg.path_compression = compression;
+  cfg.use_phases = phases;
+  core::discovery_run run(g, cfg, sched);
+  run.net().wake(0);
+  run.run();
+  const auto rep = core::check_final_state(run, g);
+  if (!rep.ok()) {
+    std::cout << "CHECK FAILED (compression=" << compression
+              << ", phases=" << phases << "):\n"
+              << rep.to_string();
+    std::exit(1);
+  }
+  return run.statistics().messages_of_any({"search", "release"});
+}
+
+std::uint64_t dsu_cost(std::size_t n, bool compression, bool ranks) {
+  using namespace asyncrd::uf;
+  dsu d(n, ranks ? link_policy::by_rank : link_policy::naive,
+        compression ? compress_policy::full : compress_policy::none);
+  // Mirror the engine workload: element k merges into the incumbent set,
+  // then every element is probed once.
+  for (std::size_t k = 1; k < n; ++k) d.unite(k - 1, k);
+  for (std::size_t k = 0; k < n; ++k) d.find(k);
+  return d.find_steps();
+}
+
+}  // namespace
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Ablation: path compression and phases (union by rank) ==\n\n";
+
+  std::cout << "--- distributed engine: search+release messages, in-star"
+               " sequential wake-ups ---\n";
+  text_table t({"n", "both on", "no compression", "no phases", "both off"});
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    t.add_row({std::to_string(n), std::to_string(engine_cost(n, true, true)),
+               std::to_string(engine_cost(n, false, true)),
+               std::to_string(engine_cost(n, true, false)),
+               std::to_string(engine_cost(n, false, false))});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n--- sequential DSU mirror: find() pointer hops ---\n";
+  text_table t2({"n", "rank+compress", "rank only", "compress only",
+                 "neither"});
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    t2.add_row({std::to_string(n), std::to_string(dsu_cost(n, true, true)),
+                std::to_string(dsu_cost(n, false, true)),
+                std::to_string(dsu_cost(n, true, false)),
+                std::to_string(dsu_cost(n, false, false))});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\npaper: §4.2/§4.4 + [Tarjan-van Leeuwen] — with both"
+               " mechanisms the cost is near-linear (O(n alpha)); disabling\n"
+               "both degenerates toward Theta(n^2); each mechanism alone"
+               " already prevents the quadratic blow-up on this workload.\n";
+  return 0;
+}

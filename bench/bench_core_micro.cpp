@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks of the building blocks: full discovery
+// executions per variant, the simulator's event loop, DSU operations, and
+// inverse-Ackermann evaluation.  Wall-clock numbers (unlike the message
+// counts in the other benches, these depend on the host machine).
+#include <benchmark/benchmark.h>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "unionfind/ackermann.h"
+#include "unionfind/dsu.h"
+
+namespace {
+
+using namespace asyncrd;
+
+void BM_GenericDiscovery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_weakly_connected(n, n, 42);
+  for (auto _ : state) {
+    auto s = core::run_discovery(g, core::variant::generic, 1);
+    benchmark::DoNotOptimize(s.messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GenericDiscovery)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BoundedDiscovery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_weakly_connected(n, n, 42);
+  for (auto _ : state) {
+    auto s = core::run_discovery(g, core::variant::bounded, 1);
+    benchmark::DoNotOptimize(s.messages);
+  }
+}
+BENCHMARK(BM_BoundedDiscovery)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AdhocDiscovery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_weakly_connected(n, n, 42);
+  for (auto _ : state) {
+    auto s = core::run_discovery(g, core::variant::adhoc, 1);
+    benchmark::DoNotOptimize(s.messages);
+  }
+}
+BENCHMARK(BM_AdhocDiscovery)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto g = graph::random_weakly_connected(n, n, ++seed);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(256)->Arg(4096);
+
+void BM_DsuUnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto sched = uf::random_schedule(n, n, 7);
+  for (auto _ : state) {
+    uf::dsu d(n);
+    for (const auto& op : sched) {
+      if (op.op == uf::uf_op::kind::unite)
+        d.unite(op.a, op.b);
+      else
+        benchmark::DoNotOptimize(d.find(op.a));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sched.size()));
+}
+BENCHMARK(BM_DsuUnionFind)->Arg(1024)->Arg(65536);
+
+void BM_InverseAckermann(benchmark::State& state) {
+  std::uint64_t n = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uf::inverse_ackermann(n, n));
+    n = n < (std::uint64_t{1} << 40) ? n * 2 : 2;
+  }
+}
+BENCHMARK(BM_InverseAckermann);
+
+}  // namespace

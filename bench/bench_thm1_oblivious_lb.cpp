@@ -1,0 +1,62 @@
+// Theorem 1: any Oblivious Resource Discovery algorithm can be forced to
+// send >= 0.5 n log n - 2 messages on the directed complete binary tree
+// T(i) (n = 2^i - 1) by an adversary that stalls each internal node's
+// messages until both its subtrees quiesce.
+//
+// Reproduction: run the Generic algorithm on T(i) under exactly that
+// adversary (post-order staged release of internal senders) and report the
+// measured message count against the proof's bound i*2^(i-1) - 2.  The
+// measured count must sit between the lower bound and Theorem 5's
+// O(n log n) upper envelope.
+#include <iostream>
+
+#include "common/bitmath.h"
+#include "common/table.h"
+#include "core/adversary.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Theorem 1: Oblivious lower bound on adversarial binary"
+               " trees ==\n\n";
+
+  text_table t({"tree", "n", "messages", "bound i*2^(i-1)-2", "0.5 n log n",
+                "meets bound"});
+  bool all_ok = true;
+
+  for (std::size_t i = 2; i <= 13; ++i) {
+    const auto g = graph::directed_binary_tree(i);
+    const std::size_t n = g.node_count();
+    core::staged_release_scheduler sched(
+        graph::binary_tree_internal_postorder(i));
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    sched.arm(run.net());
+    run.wake_all();
+    const auto r = run.run();
+    const auto rep = core::check_final_state(run, g);
+    if (!r.completed || !rep.ok()) {
+      std::cout << "RUN FAILED for T(" << i << ")\n" << rep.to_string();
+      all_ok = false;
+      continue;
+    }
+    const double bound =
+        static_cast<double>(i) * static_cast<double>(1ull << (i - 1)) - 2.0;
+    const auto msgs = run.statistics().total_messages();
+    const bool meets = static_cast<double>(msgs) >= bound;
+    all_ok = all_ok && meets;
+    t.add_row({"T(" + std::to_string(i) + ")", std::to_string(n),
+               std::to_string(msgs), fmt_double(bound, 0),
+               fmt_double(0.5 * n_log_n(static_cast<double>(n)), 0),
+               meets ? "yes" : "NO"});
+  }
+
+  t.print(std::cout);
+  std::cout << "\npaper: Theorem 1 — every execution under this adversary"
+               " must send at least i*2^(i-1) - 2 = ~0.5 n log n messages;\n"
+               "expect 'meets bound' = yes on every row, with measured"
+               " messages also within Theorem 5's O(n log n) envelope.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Theorem 2 / Lemma 3.1: Ad-hoc Resource Discovery is Omega(n alpha(n, n))
+// messages, via the reduction from Union-Find.
+//
+// Reproduction: build the lemma's reduction network for union/find
+// schedules (random and adversarial binomial-merge schedules), drive the
+// Ad-hoc algorithm with the sequential wake-up adversary, verify the
+// distributed answers against a reference DSU, and report messages per
+// operation against N * alpha(N, N) for N = 2n - 1 + m network nodes.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/uf_reduction.h"
+#include "unionfind/ackermann.h"
+#include "unionfind/dsu.h"
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Theorem 2 / Lemma 3.1: Ad-hoc lower bound via Union-Find"
+               " reduction ==\n\n";
+
+  text_table t({"schedule", "sets n", "ops", "net nodes N", "messages",
+                "N*alpha(N,N)", "msgs/op", "ratio"});
+  bool all_ok = true;
+
+  const auto row = [&](const std::string& name, std::size_t n,
+                       std::vector<uf::uf_op> sched) {
+    const std::size_t ops = sched.size();
+    core::uf_reduction red(n, std::move(sched));
+    if (!red.execute()) {
+      std::cout << "REDUCTION FAILED (" << name << ", n=" << n << "): "
+                << red.errors().front() << "\n";
+      all_ok = false;
+      return;
+    }
+    const auto msgs = red.statistics().total_messages();
+    const double big_n = static_cast<double>(red.network_size());
+    const double na =
+        big_n * uf::inverse_ackermann(red.network_size(), red.network_size());
+    t.add_row({name, std::to_string(n), std::to_string(ops),
+               std::to_string(red.network_size()), std::to_string(msgs),
+               fmt_double(na, 0),
+               fmt_double(static_cast<double>(msgs) / static_cast<double>(ops), 2),
+               fmt_ratio(static_cast<double>(msgs), na)});
+  };
+
+  for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+    row("random m=n", n, uf::random_schedule(n, n, 7 + n));
+    row("random m=4n", n, uf::random_schedule(n, 4 * n, 11 + n));
+    row("adversarial", n, uf::adversarial_schedule(n, n));
+  }
+
+  t.print(std::cout);
+  std::cout
+      << "\npaper: Theorem 2 — Omega(n alpha(n,n)) messages; Theorem 6 gives"
+         " the matching O(n alpha(n,n)) upper bound, so the ratio column\n"
+         "should be Theta(1): bounded above and not collapsing toward 0 as"
+         " n grows (messages per operation stay near-constant).\n";
+  return all_ok ? 0 : 1;
+}

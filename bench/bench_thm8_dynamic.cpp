@@ -1,0 +1,90 @@
+// Theorem 8: dynamic additions cost O(m alpha(m, n + n_hat)) messages total
+// for m = n + n_hat + e_hat — i.e. fully incorporating a new node or link
+// is far cheaper than re-running the whole algorithm (the open question of
+// Harchol-Balter et al. that §6 answers).
+//
+// Reproduction: settle a base network of n nodes with the Ad-hoc algorithm,
+// then add n_hat nodes and e_hat links one at a time (running to quiescence
+// between additions); report (a) incremental messages per addition and (b)
+// the total against both the m*alpha bound and the cost of from-scratch
+// re-execution after every addition.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/scheduler.h"
+#include "unionfind/ackermann.h"
+
+int main() {
+  using namespace asyncrd;
+  std::cout << "== Theorem 8: dynamic node and link additions (Ad-hoc) ==\n\n";
+
+  text_table t({"n", "n_hat", "e_hat", "base msgs", "incr msgs",
+                "msgs/addition", "m*alpha", "incr/bound",
+                "rerun-every-time"});
+  bool all_ok = true;
+
+  for (const std::size_t n : {128u, 512u, 2048u}) {
+    const std::size_t n_hat = n / 4, e_hat = n / 4;
+    graph::digraph g = graph::random_weakly_connected(n, n, 55 + n);
+
+    sim::unit_delay_scheduler sched;
+    core::config cfg;
+    cfg.algo = core::variant::adhoc;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    run.run();
+    const auto base = run.statistics().total_messages();
+
+    // What a naive system would pay: rerun discovery after every addition.
+    std::uint64_t naive_total = 0;
+
+    rng r(99);
+    graph::digraph grown = g;
+    for (std::size_t i = 0; i < n_hat + e_hat; ++i) {
+      if (i < n_hat) {
+        const node_id fresh = static_cast<node_id>(100000 + i);
+        const node_id peer = static_cast<node_id>(r.below(n));
+        run.add_node_dynamic(fresh, {peer});
+        grown.add_edge(fresh, peer);
+      } else {
+        const node_id a = static_cast<node_id>(r.below(n));
+        const node_id b = static_cast<node_id>(r.below(n));
+        if (a == b) continue;
+        run.add_link_dynamic(a, b);
+        grown.add_edge(a, b);
+      }
+      run.run();
+      naive_total += core::run_discovery(grown, core::variant::adhoc, 0).messages;
+    }
+    const auto rep = core::check_final_state(run, grown);
+    if (!rep.ok()) {
+      std::cout << "CHECK FAILED (n=" << n << "):\n" << rep.to_string();
+      all_ok = false;
+      continue;
+    }
+    const auto incr = run.statistics().total_messages() - base;
+    const double m = static_cast<double>(n + n_hat + e_hat);
+    const double bound =
+        m * uf::inverse_ackermann(static_cast<std::uint64_t>(m), n + n_hat);
+    t.add_row({std::to_string(n), std::to_string(n_hat),
+               std::to_string(e_hat), std::to_string(base),
+               std::to_string(incr),
+               fmt_double(static_cast<double>(incr) /
+                          static_cast<double>(n_hat + e_hat)),
+               fmt_double(bound, 0),
+               fmt_ratio(static_cast<double>(incr), bound),
+               std::to_string(naive_total)});
+  }
+
+  t.print(std::cout);
+  std::cout
+      << "\npaper: Theorem 8 — the *total* message count from the initial"
+         " state is O(m alpha(m, n+n_hat)), so the incremental cost per\n"
+         "addition is O(alpha) amortized: expect msgs/addition to stay a"
+         " small constant while the rerun-every-time column explodes.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "baselines/absorption.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bitmath.h"
+#include "common/rng.h"
+#include "unionfind/dsu.h"
+
+namespace asyncrd::baselines {
+
+baseline_result run_absorption(const graph::digraph& g, std::uint64_t seed,
+                               std::uint64_t max_rounds) {
+  baseline_result res;
+  const auto nodes = g.nodes();
+  const std::size_t n = nodes.size();
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+  const std::size_t id_bits = ceil_log2(std::max<std::size_t>(n, 2));
+  rng r(seed);
+
+  // Dense index <-> node id.
+  std::map<node_id, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[nodes[i]] = i;
+
+  uf::dsu clusters(n);
+  // Pooled outside knowledge per cluster root (indices).
+  std::vector<std::set<std::size_t>> knowledge(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (const node_id w : g.out(nodes[i])) knowledge[i].insert(index.at(w));
+
+  const auto cluster_count_target = g.weak_components().size();
+
+  while (clusters.component_count() > cluster_count_target &&
+         res.rounds < max_rounds) {
+    ++res.rounds;
+    // Collect current roots and their coin flips.
+    std::map<std::size_t, bool> caller;  // root -> is caller this round
+    for (std::size_t i = 0; i < n; ++i)
+      if (clusters.find(i) == i) caller[i] = r.chance(0.5);
+
+    // Callers act against the start-of-round cluster structure.
+    struct absorb_req {
+      std::size_t caller_root;
+      std::size_t target;
+    };
+    std::vector<absorb_req> reqs;
+    for (const auto& [root, is_caller] : caller) {
+      if (!is_caller) continue;
+      // Prune own-cluster ids lazily, then pick uniformly.
+      auto& k = knowledge[root];
+      for (auto it = k.begin(); it != k.end();)
+        it = clusters.find(*it) == root ? k.erase(it) : ++it;
+      if (k.empty()) continue;
+      auto it = k.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(r.below(k.size())));
+      reqs.push_back({root, *it});
+      res.messages += 1;  // contact message to the known id
+      res.bits += id_bits;
+    }
+    // Contacted nodes forward to their roots; callee roots absorb.
+    for (const auto& req : reqs) {
+      const std::size_t target_root = clusters.find(req.target);
+      res.messages += 1;  // forward to root
+      res.bits += id_bits;
+      if (clusters.find(req.caller_root) == target_root) continue;
+      if (caller.contains(target_root) && !caller.at(target_root)) {
+        // Absorption: ship the caller cluster's census + knowledge.
+        const std::size_t shipped =
+            knowledge[req.caller_root].size() + 1;
+        res.messages += 1;
+        res.bits += shipped * id_bits;
+        const std::size_t caller_root_now = clusters.find(req.caller_root);
+        clusters.unite(caller_root_now, target_root);
+        const std::size_t new_root = clusters.find(target_root);
+        // Merge pooled knowledge into whichever root survived.
+        std::set<std::size_t> merged = knowledge[caller_root_now];
+        merged.insert(knowledge[target_root].begin(),
+                      knowledge[target_root].end());
+        knowledge[new_root] = std::move(merged);
+      }
+    }
+  }
+
+  // Converged when cluster structure matches the weak components.
+  res.converged = clusters.component_count() == cluster_count_target;
+  return res;
+}
+
+}  // namespace asyncrd::baselines

@@ -1,0 +1,27 @@
+// Randomized cluster absorption — a Law & Siu (2000)-style synchronous
+// algorithm, the second randomized baseline the paper cites (O(n log n)
+// messages, O(log n) rounds w.h.p.).
+//
+// Substitution note (DESIGN.md §4): Law-Siu is only published as a brief
+// announcement; we implement the standard absorption scheme it describes:
+// the nodes are partitioned into rooted clusters (initially singletons).
+// Each round every cluster root flips a fair coin: heads = caller, tails =
+// callee.  A caller picks a uniformly random known outside id from its
+// cluster's pooled knowledge and contacts it; the contacted node forwards
+// to its root (one message); if that root is a callee this round, the
+// caller's cluster is absorbed: its id census is shipped to the callee
+// root.  With probability >= 1/4 per contact two clusters merge, so
+// O(log n) rounds suffice w.h.p.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_result.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::baselines {
+
+baseline_result run_absorption(const graph::digraph& g, std::uint64_t seed,
+                               std::uint64_t max_rounds = 10'000);
+
+}  // namespace asyncrd::baselines

@@ -1,0 +1,16 @@
+// Shared result record for the comparison baselines (§1.1's related work):
+// message count, bit count, and (for synchronous algorithms) round count.
+#pragma once
+
+#include <cstdint>
+
+namespace asyncrd::baselines {
+
+struct baseline_result {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t rounds = 0;  ///< 0 for asynchronous algorithms
+  bool converged = false;    ///< every node/leader reached the goal state
+};
+
+}  // namespace asyncrd::baselines

@@ -1,0 +1,23 @@
+// Token-DFS leader election + census for *strongly connected* knowledge
+// graphs — the contrast case the paper cites Cidon-Gopal-Kutten for: on
+// strongly connected networks an O(n)-message election exists, so the
+// interesting regime for resource discovery is weak connectivity.
+//
+// Substitution note (DESIGN.md §4): CGK's O(n) algorithm is intricate; this
+// baseline uses a single token performing a DFS traversal, which costs one
+// message per edge traversal (O(|E|) total) plus n-1 notifications.  It
+// preserves the qualitative contrast (linear in edges on strongly connected
+// graphs, no log factor) without reproducing CGK verbatim.
+#pragma once
+
+#include "baselines/baseline_result.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::baselines {
+
+/// Requires g strongly connected (returns converged == false otherwise).
+/// The token starts at the minimum id, collects every id, then the
+/// initiator notifies all nodes of the leader (max id) directly.
+baseline_result run_dfs_election(const graph::digraph& g);
+
+}  // namespace asyncrd::baselines

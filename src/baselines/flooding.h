@@ -1,0 +1,23 @@
+// Asynchronous flooding — the naive resource-discovery baseline.
+//
+// Every node pushes each newly learned id to every acquaintance.  Converges
+// with every node knowing its entire weakly connected component (messages
+// teach receivers the sender's id, so knowledge becomes symmetric), after
+// which the maximum id is the de-facto leader.  Message complexity is
+// Theta(n * |E|)-ish and bit complexity Theta(n^2 log n) on dense graphs —
+// the contrast that motivates the paper's algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_result.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::baselines {
+
+/// Runs flooding on `g` under random delivery delays derived from `seed`
+/// (0 = unit delays); verifies convergence (every node knows exactly its
+/// component) before reporting.
+baseline_result run_flooding(const graph::digraph& g, std::uint64_t seed);
+
+}  // namespace asyncrd::baselines

@@ -1,0 +1,25 @@
+// Name-Dropper — the randomized synchronous algorithm of Harchol-Balter,
+// Leighton & Lewin (PODC 1999), the paper's primary prior-work baseline.
+//
+// Each round, every node picks one neighbor uniformly at random from its
+// current pointer set and ships the whole set (plus its own id) to it.
+// With high probability the pointer graph becomes complete (restricted to
+// each weakly connected component) within O(log^2 n) rounds, for
+// O(n log^2 n) messages and O(n^2 log^3 n) bits.
+//
+// Our engine detects global convergence exactly (every node's set equals
+// its component) rather than relying on the probabilistic round bound, so
+// reported round counts are the true convergence times.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_result.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::baselines {
+
+baseline_result run_name_dropper(const graph::digraph& g, std::uint64_t seed,
+                                 std::uint64_t max_rounds = 10'000);
+
+}  // namespace asyncrd::baselines

@@ -1,0 +1,26 @@
+// Deterministic synchronous discovery via max-propagation and a final
+// convergecast — a Kutten-Peleg-Vishkin-flavored deterministic baseline
+// (the exact KPV algorithm interleaves more machinery; this preserves its
+// observable shape: deterministic, synchronous, leader = max id, message
+// cost governed by |E0| and the component diameter).
+//
+// Phase 1 (max propagation): every round each node sends its current
+// candidate leader (the largest id it has heard of) to all its contacts
+// (initial out-neighbors plus everyone it has received from).  Stabilizes
+// after <= diameter+1 rounds.
+// Phase 2 (convergecast): every node ships its full known set to the
+// stabilized candidate, which thereby learns the entire component; the
+// candidate then broadcasts its id census back (one message per member).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_result.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::baselines {
+
+baseline_result run_pointer_doubling(const graph::digraph& g,
+                                     std::uint64_t max_rounds = 10'000);
+
+}  // namespace asyncrd::baselines

@@ -1,0 +1,27 @@
+#include "common/bitmath.h"
+
+#include <cmath>
+
+namespace asyncrd {
+
+std::size_t floor_log2(std::uint64_t x) noexcept {
+  std::size_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+std::size_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 2) return 1;
+  const std::size_t f = floor_log2(x);
+  return ((std::uint64_t{1} << f) == x) ? f : f + 1;
+}
+
+double n_log_n(double n) noexcept {
+  if (n < 2.0) return n;
+  return n * std::log2(n);
+}
+
+}  // namespace asyncrd

@@ -1,0 +1,19 @@
+// Small integer helpers shared by the bit-accounting and analysis layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asyncrd {
+
+/// ceil(log2(x)) for x >= 1; defined as 1 for x <= 2 so that an id field is
+/// never charged zero bits (a 1-node network still needs one bit to name it).
+std::size_t ceil_log2(std::uint64_t x) noexcept;
+
+/// floor(log2(x)) for x >= 1.
+std::size_t floor_log2(std::uint64_t x) noexcept;
+
+/// n * ceil(log2(n)) convenience used by several theoretical bounds.
+double n_log_n(double n) noexcept;
+
+}  // namespace asyncrd

@@ -1,0 +1,19 @@
+// Always-on internal invariant checks.
+//
+// Protocol invariants (the "this message cannot arrive in this state"
+// class) must hold in release builds too — a silent violation would corrupt
+// an execution and invalidate measurements.  ASYNCRD_CHECK therefore does
+// not compile away under NDEBUG; it aborts with a source location.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ASYNCRD_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "ASYNCRD_CHECK failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)

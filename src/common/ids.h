@@ -1,0 +1,22 @@
+// Node identifiers for the knowledge-graph model.
+//
+// The paper assigns each node a unique O(log n)-bit identifier ("this
+// identifier can be thought of as the node's IP address", §1).  We model ids
+// as dense 32-bit integers; the bit-accounting layer (sim/stats.h) charges
+// ceil(log2 n) bits per id field, exactly as the paper's bit-complexity
+// analysis does.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace asyncrd {
+
+/// A node identifier.  Ids are opaque to the algorithms except for their
+/// total order (used to break ties between leaders of equal phase).
+using node_id = std::uint32_t;
+
+/// Sentinel meaning "no node".  Never a valid id.
+inline constexpr node_id invalid_node = std::numeric_limits<node_id>::max();
+
+}  // namespace asyncrd

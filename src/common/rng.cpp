@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+namespace asyncrd {
+
+std::uint64_t rng::next() noexcept {
+  std::uint64_t z = (state_ += golden_gamma);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rng::below(std::uint64_t bound) noexcept {
+  // Debiased via rejection from the top of the range.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t rng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + below(hi - lo + 1);
+}
+
+double rng::unit() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return unit() < p;
+}
+
+}  // namespace asyncrd

@@ -1,0 +1,45 @@
+// Minimal fixed-width text table used by the benchmark harnesses to print
+// paper-style result rows (EXPERIMENTS.md records the same tables).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asyncrd {
+
+/// Collects rows of strings and renders them with aligned columns.
+///
+/// Usage:
+///   text_table t({"n", "messages", "n log n", "ratio"});
+///   t.add_row({"1024", "31873", "10240", "3.11"});
+///   t.print(std::cout);
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+  /// quotes, or newlines) — for piping bench output into plotting tools.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (default 2 decimal places).
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats a ratio "a/b" as a decimal, guarding division by zero.
+std::string fmt_ratio(double a, double b, int precision = 3);
+
+}  // namespace asyncrd

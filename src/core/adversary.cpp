@@ -1,0 +1,47 @@
+#include "core/adversary.h"
+
+namespace asyncrd::core {
+
+void staged_release_scheduler::arm(sim::network& net) {
+  for (const node_id v : order_) net.block_sender(v);
+}
+
+bool staged_release_scheduler::on_quiescence(sim::network& net) {
+  if (next_ >= order_.size()) return false;
+  net.unblock_sender(order_[next_++]);
+  return true;
+}
+
+bool sequential_wakeup_scheduler::on_quiescence(sim::network& net) {
+  // Skip nodes that were already woken by message arrivals.
+  while (next_ < order_.size() && net.is_awake(order_[next_])) ++next_;
+  if (next_ >= order_.size()) return false;
+  net.wake(order_[next_++]);
+  return true;
+}
+
+random_staged_scheduler::random_staged_scheduler(
+    std::uint64_t seed, std::vector<node_id> candidates,
+    double block_fraction, sim::sim_time max_delay)
+    : rng_(seed), max_delay_(max_delay == 0 ? 1 : max_delay) {
+  for (const node_id v : candidates)
+    if (rng_.chance(block_fraction)) release_order_.push_back(v);
+  rng_.shuffle(release_order_);
+}
+
+void random_staged_scheduler::arm(sim::network& net) {
+  for (const node_id v : release_order_) net.block_sender(v);
+}
+
+sim::sim_time random_staged_scheduler::delay(node_id, node_id,
+                                             const sim::message&) {
+  return rng_.between(1, max_delay_);
+}
+
+bool random_staged_scheduler::on_quiescence(sim::network& net) {
+  if (next_ >= release_order_.size()) return false;
+  net.unblock_sender(release_order_[next_++]);
+  return true;
+}
+
+}  // namespace asyncrd::core

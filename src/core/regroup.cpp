@@ -1,0 +1,48 @@
+#include "core/regroup.h"
+
+#include <sstream>
+
+namespace asyncrd::core {
+
+graph::digraph surviving_knowledge(const discovery_run& before,
+                                   const std::set<node_id>& removed) {
+  graph::digraph g;
+  for (const node_id v : before.ids()) {
+    if (removed.contains(v)) continue;
+    g.add_node(v);
+    for (const node_id w : before.at(v).known_ids())
+      if (!removed.contains(w) && before.net().has_node(w)) g.add_edge(v, w);
+  }
+  return g;
+}
+
+std::unique_ptr<discovery_run> regroup_after_removal(
+    const discovery_run& before, const std::set<node_id>& removed,
+    const config& cfg, sim::scheduler& sched) {
+  const graph::digraph g = surviving_knowledge(before, removed);
+  auto run = std::make_unique<discovery_run>(g, cfg, sched);
+  run->wake_all();
+  run->run();
+  return run;
+}
+
+std::string forest_to_dot(const discovery_run& run) {
+  std::ostringstream ss;
+  ss << "digraph discovery_forest {\n  rankdir=BT;\n";
+  for (const node_id v : run.ids()) {
+    const node& nd = run.at(v);
+    ss << "  n" << v << " [label=\"" << v << "\\n" << to_string(nd.status())
+       << " p" << nd.phase() << "\"";
+    if (nd.is_leader()) ss << ", shape=doublecircle";
+    ss << "];\n";
+  }
+  for (const node_id v : run.ids()) {
+    const node& nd = run.at(v);
+    if (!nd.is_leader() && nd.next() != v)
+      ss << "  n" << v << " -> n" << nd.next() << ";\n";
+  }
+  ss << "}\n";
+  return ss.str();
+}
+
+}  // namespace asyncrd::core

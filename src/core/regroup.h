@@ -1,0 +1,49 @@
+// Node removals — the paper's closing open problem, treated pragmatically.
+//
+// §7: "Another interesting remaining open question is how to deal
+// efficiently with dynamic node removals.  This topic is related to
+// increasing the robustness of Resource Discovery."  And §1's motivation:
+// "Consider a system in which many of the nodes were either reset or
+// totally removed ... The first step toward rebuilding such a system is
+// discovering and regrouping all the currently online nodes."
+//
+// We implement exactly that first step as a library operation: crash-stop
+// an arbitrary node set and *regroup* the survivors by re-running resource
+// discovery on the knowledge they retained (each survivor's accumulated id
+// set, filtered to survivors).  This is not a new algorithm — the paper
+// leaves sub-restart-cost removal open — but it packages the paper's own
+// suggested remediation with the right complexity: the regroup costs what
+// a fresh discovery on the surviving knowledge graph costs, independent of
+// the pre-crash history.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/runner.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::core {
+
+/// The surviving knowledge graph: one vertex per survivor, an edge
+/// (u -> v) iff survivor u had learned survivor v's id in `before`.
+/// Survivors = all nodes of `before` not in `removed`.
+graph::digraph surviving_knowledge(const discovery_run& before,
+                                   const std::set<node_id>& removed);
+
+/// Crash-stops `removed` and regroups the survivors: builds a fresh
+/// discovery_run over surviving_knowledge(), wakes everyone, and runs it
+/// to quiescence.  The returned run owns the new network; check it with
+/// check_final_state(run, surviving_knowledge(...)).
+std::unique_ptr<discovery_run> regroup_after_removal(
+    const discovery_run& before, const std::set<node_id>& removed,
+    const config& cfg, sim::scheduler& sched);
+
+/// Graphviz DOT rendering of a discovery outcome: the next-pointer forest
+/// (solid arrows), with leaders double-circled and node labels annotated
+/// with status and phase.  Feed to `dot -Tpng` alongside
+/// graph::to_dot(E0) to see what discovery built on top of the knowledge
+/// graph.
+std::string forest_to_dot(const discovery_run& run);
+
+}  // namespace asyncrd::core

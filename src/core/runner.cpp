@@ -1,0 +1,89 @@
+#include "core/runner.h"
+
+#include <stdexcept>
+
+#include "common/bitmath.h"
+
+namespace asyncrd::core {
+
+discovery_run::discovery_run(const graph::digraph& g, config cfg,
+                             sim::scheduler& sched)
+    : cfg_(cfg), net_(sched) {
+  std::map<node_id, std::size_t> sizes;
+  if (cfg_.algo == variant::bounded) sizes = g.weak_component_sizes();
+  for (const node_id v : g.nodes()) {
+    const std::size_t csize =
+        cfg_.algo == variant::bounded ? sizes.at(v) : std::size_t{0};
+    net_.add_node(v, std::make_unique<node>(v, cfg_, g.out(v), csize));
+  }
+  if (g.node_count() > 2) net_.set_id_bits(ceil_log2(g.node_count()));
+}
+
+node& discovery_run::at(node_id id) {
+  auto* p = dynamic_cast<node*>(net_.find(id));
+  if (p == nullptr) throw std::invalid_argument("unknown node id");
+  return *p;
+}
+
+const node& discovery_run::at(node_id id) const {
+  const auto* p = dynamic_cast<const node*>(net_.find(id));
+  if (p == nullptr) throw std::invalid_argument("unknown node id");
+  return *p;
+}
+
+void discovery_run::wake_all() {
+  for (const node_id v : net_.node_ids()) net_.wake(v);
+}
+
+sim::run_result discovery_run::run(std::uint64_t max_events) {
+  return net_.run(max_events);
+}
+
+void discovery_run::add_node_dynamic(node_id id,
+                                     std::set<node_id> initial_local) {
+  // "there is no difference between a node joining the system at a certain
+  // time and a node that wakes up at that time" (§6).
+  net_.add_node(id, std::make_unique<node>(id, cfg_, std::move(initial_local),
+                                           std::size_t{0}));
+  net_.wake(id);
+}
+
+void discovery_run::add_link_dynamic(node_id u, node_id v) {
+  at(u).add_link(net_, v);
+}
+
+void discovery_run::probe(node_id u) { at(u).initiate_probe(net_); }
+
+std::vector<node_id> discovery_run::leaders() const {
+  std::vector<node_id> out;
+  for (const node_id v : net_.node_ids())
+    if (at(v).is_leader()) out.push_back(v);
+  return out;
+}
+
+run_summary run_discovery(const graph::digraph& g, variant algo,
+                          std::uint64_t seed, trace_sink* trace) {
+  std::unique_ptr<sim::scheduler> sched;
+  if (seed == 0)
+    sched = std::make_unique<sim::unit_delay_scheduler>();
+  else
+    sched = std::make_unique<sim::random_delay_scheduler>(seed);
+
+  config cfg;
+  cfg.algo = algo;
+  cfg.trace = trace;
+  discovery_run run(g, cfg, *sched);
+  run.wake_all();
+  const sim::run_result r = run.run();
+
+  run_summary s;
+  s.messages = run.statistics().total_messages();
+  s.bits = run.statistics().total_bits();
+  s.events = r.events_processed;
+  s.completion_time = run.net().now();
+  s.leaders = run.leaders();
+  s.completed = r.completed;
+  return s;
+}
+
+}  // namespace asyncrd::core

@@ -1,0 +1,81 @@
+// Harness that instantiates the algorithm on a knowledge graph, drives the
+// simulator, and exposes the pieces benches/tests need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/node.h"
+#include "graph/digraph.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace asyncrd::core {
+
+/// One resource-discovery execution: owns the network, the shared config,
+/// and (via the network) the nodes.
+class discovery_run {
+ public:
+  /// Builds one node per graph vertex, each initialized with its
+  /// E0 out-neighborhood.  For variant::bounded every node receives its
+  /// weakly-connected-component size (the Bounded model's extra knowledge).
+  discovery_run(const graph::digraph& g, config cfg, sim::scheduler& sched);
+
+  discovery_run(const discovery_run&) = delete;
+  discovery_run& operator=(const discovery_run&) = delete;
+
+  sim::network& net() noexcept { return net_; }
+  const sim::network& net() const noexcept { return net_; }
+  const config& cfg() const noexcept { return cfg_; }
+
+  /// The node object for an id (throws if unknown).
+  node& at(node_id id);
+  const node& at(node_id id) const;
+
+  /// Schedules wake events for every node.
+  void wake_all();
+
+  /// Runs to completion (quiescence + scheduler hooks exhausted).
+  sim::run_result run(std::uint64_t max_events = sim::network::default_event_cap);
+
+  /// §6 dynamic addition: a brand-new node that knows `initial_local`.
+  void add_node_dynamic(node_id id, std::set<node_id> initial_local);
+
+  /// §6 dynamic addition: new link (u -> v) appears now.
+  void add_link_dynamic(node_id u, node_id v);
+
+  /// §4.5.2: node u requests a component snapshot (Ad-hoc).
+  void probe(node_id u);
+
+  const sim::stats& statistics() const noexcept { return net_.statistics(); }
+
+  /// Current leaders (nodes in a leader state), ascending by id.
+  std::vector<node_id> leaders() const;
+
+  std::vector<node_id> ids() const { return net_.node_ids(); }
+
+ private:
+  config cfg_;  // nodes keep a pointer into this; must outlive them
+  sim::network net_;
+};
+
+/// Convenience summary used by benches: run a fresh execution end to end.
+struct run_summary {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t events = 0;
+  /// Virtual time at quiescence.  Under the unit-delay scheduler this is
+  /// the longest message chain, i.e. the execution's time complexity in
+  /// the standard asynchronous measure (paper §7 discusses O(T + n)).
+  sim::sim_time completion_time = 0;
+  std::vector<node_id> leaders;
+  bool completed = false;
+};
+
+/// Runs `algo` on `g` with uniformly random delays derived from `seed`
+/// (seed == 0 selects unit delays), waking all nodes at the start.
+run_summary run_discovery(const graph::digraph& g, variant algo,
+                          std::uint64_t seed, trace_sink* trace = nullptr);
+
+}  // namespace asyncrd::core

@@ -1,0 +1,45 @@
+// Node statuses (paper Figure 1 / Figure 2's STATUS type) plus the two
+// statuses the formal model implies but the figure leaves implicit:
+// `asleep` (before the node's asynchronous wake-up) and `terminated` (the
+// Bounded variant's explicit termination, §4.5.1 / Theorem 4).
+#pragma once
+
+#include <string_view>
+
+namespace asyncrd::core {
+
+enum class status_t : unsigned char {
+  asleep,      ///< not yet woken (no global initialization time, §1.2)
+  explore,     ///< leader searching for unexplored nodes (Fig 3)
+  wait,        ///< leader waiting for a search or release (Fig 4)
+  passive,     ///< lost leader: waits to be found and conquered (Fig 4)
+  conqueror,   ///< leader collecting info / more-done replies (Fig 6)
+  conquered,   ///< awaiting merge accept / merge fail (Fig 6)
+  inactive,    ///< absorbed: pure message router (Fig 5)
+  terminated,  ///< Bounded variant only: |done| reached the component size
+};
+
+/// Paper §4: "We will call a node leader if its state is not conquered or
+/// inactive or passive."  `asleep` nodes are leaders-to-be (their initial
+/// state is explore) and `terminated` is the Bounded leader's final state.
+constexpr bool is_leader_status(status_t s) noexcept {
+  return s == status_t::asleep || s == status_t::explore ||
+         s == status_t::wait || s == status_t::conqueror ||
+         s == status_t::terminated;
+}
+
+constexpr std::string_view to_string(status_t s) noexcept {
+  switch (s) {
+    case status_t::asleep: return "asleep";
+    case status_t::explore: return "explore";
+    case status_t::wait: return "wait";
+    case status_t::passive: return "passive";
+    case status_t::conqueror: return "conqueror";
+    case status_t::conquered: return "conquered";
+    case status_t::inactive: return "inactive";
+    case status_t::terminated: return "terminated";
+  }
+  return "?";
+}
+
+}  // namespace asyncrd::core

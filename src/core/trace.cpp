@@ -1,0 +1,57 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+namespace asyncrd::core {
+
+void transition_recorder::on_transition(node_id, status_t from, status_t to) {
+  ++edges_[{from, to}];
+  ++total_;
+}
+
+const std::set<transition_recorder::edge>& transition_recorder::legal_edges() {
+  using s = status_t;
+  static const std::set<edge> legal = {
+      // wake-up: a node begins its execution in explore
+      {s::asleep, s::explore},
+      // Fig 1: explore -> wait (search sent, or unexplored and more empty)
+      {s::explore, s::wait},
+      // paper §4.1 text: an out-of-work waiting leader resumes exploring
+      // when its `more` set becomes non-empty again
+      {s::wait, s::explore},
+      // Fig 1: search with higher (phase, id) arrives
+      {s::wait, s::conquered},
+      {s::passive, s::conquered},
+      // Fig 1: release-abort arrives
+      {s::wait, s::passive},
+      // Fig 1: release-merge arrives (merge accept sent)
+      {s::wait, s::conqueror},
+      // Fig 1: merge fail arrives
+      {s::conquered, s::passive},
+      // Fig 1: merge accept arrives, info sent
+      {s::conquered, s::inactive},
+      // Fig 1: unaware set becomes empty
+      {s::conqueror, s::explore},
+      // Bounded variant (§4.5.1): |done| = n, final conquer broadcast sent.
+      // Always reached via explore (a finishing conqueror re-enters explore
+      // and the size check runs at the top of the explore loop).
+      {s::explore, s::terminated},
+  };
+  return legal;
+}
+
+std::vector<transition_recorder::edge> transition_recorder::illegal_edges()
+    const {
+  std::vector<edge> bad;
+  for (const auto& [e, count] : edges_)
+    if (!legal_edges().contains(e)) bad.push_back(e);
+  return bad;
+}
+
+std::string edge_to_string(const transition_recorder::edge& e) {
+  std::ostringstream ss;
+  ss << to_string(e.first) << " -> " << to_string(e.second);
+  return ss.str();
+}
+
+}  // namespace asyncrd::core

@@ -1,0 +1,51 @@
+// State-transition tracing used to validate Figure 1 empirically
+// (bench_fig1_transitions) and to debug executions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/status.h"
+
+namespace asyncrd::core {
+
+/// Receives every node state transition.  Implemented by the recorder below;
+/// the engine calls it if config::trace is non-null.
+class trace_sink {
+ public:
+  virtual ~trace_sink() = default;
+  virtual void on_transition(node_id n, status_t from, status_t to) = 0;
+};
+
+/// Collects the set of distinct transitions (with multiplicities).
+class transition_recorder final : public trace_sink {
+ public:
+  void on_transition(node_id n, status_t from, status_t to) override;
+
+  using edge = std::pair<status_t, status_t>;
+
+  const std::map<edge, std::uint64_t>& edges() const noexcept { return edges_; }
+
+  /// The transition relation of Figure 1, as implemented (see node.cpp for
+  /// the paper-typo notes).  Any observed edge outside this set is a bug.
+  static const std::set<edge>& legal_edges();
+
+  /// Edges observed that are not in legal_edges() — empty on a correct run.
+  std::vector<edge> illegal_edges() const;
+
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::map<edge, std::uint64_t> edges_;
+  std::uint64_t total_ = 0;
+};
+
+/// "explore -> wait" rendered as a human-readable string.
+std::string edge_to_string(const transition_recorder::edge& e);
+
+}  // namespace asyncrd::core

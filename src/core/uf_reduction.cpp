@@ -1,0 +1,97 @@
+#include "core/uf_reduction.h"
+
+#include <sstream>
+
+#include "sim/scheduler.h"
+
+namespace asyncrd::core {
+
+uf_reduction::uf_reduction(std::size_t n, std::vector<uf::uf_op> schedule,
+                           variant algo)
+    : n_(n), schedule_(std::move(schedule)) {
+  for (node_id s = 0; s < n_; ++s) g_.add_node(s);
+  node_id next_id = static_cast<node_id>(n_);
+  op_node_.reserve(schedule_.size());
+  for (const uf::uf_op& op : schedule_) {
+    const node_id v = next_id++;
+    g_.add_edge(v, static_cast<node_id>(op.a));
+    if (op.op == uf::uf_op::kind::unite)
+      g_.add_edge(v, static_cast<node_id>(op.b));
+    op_node_.push_back(v);
+  }
+  total_nodes_ = g_.node_count();
+
+  sched_ = std::make_unique<sim::unit_delay_scheduler>();
+  config cfg;
+  cfg.algo = algo;
+  run_ = std::make_unique<discovery_run>(g_, cfg, *sched_);
+}
+
+node_id uf_reduction::leader_of(std::size_t set_index) const {
+  node_id cur = static_cast<node_id>(set_index);
+  // Follow next pointers; at quiescence they form a path to the leader
+  // (property 3b).  The hop bound guards against cycles (which would be a
+  // protocol bug reported by the caller's checks).
+  for (std::size_t hops = 0; hops <= total_nodes_; ++hops) {
+    const node& nd = run_->at(cur);
+    if (nd.is_leader()) return cur;
+    if (nd.next() == cur) return cur;  // stuck (passive ex-leader)
+    cur = nd.next();
+  }
+  return invalid_node;
+}
+
+bool uf_reduction::execute() {
+  uf::dsu reference(n_);
+  for (std::size_t step = 0; step < schedule_.size(); ++step) {
+    const uf::uf_op& op = schedule_[step];
+    run_->net().wake(op_node_[step]);
+    const sim::run_result r = run_->net().run_to_quiescence();
+    if (!r.completed) {
+      errors_.push_back("event cap exceeded at step " + std::to_string(step));
+      return false;
+    }
+    if (op.op == uf::uf_op::kind::unite) {
+      reference.unite(op.a, op.b);
+      if (leader_of(op.a) != leader_of(op.b)) {
+        std::ostringstream ss;
+        ss << "step " << step << ": union(" << op.a << ", " << op.b
+           << ") but leaders differ: " << leader_of(op.a) << " vs "
+           << leader_of(op.b);
+        errors_.push_back(ss.str());
+      }
+    } else {
+      reference.find(op.a);
+      // The find node f must have been absorbed by s_a's component: the
+      // leader must know f's id (that is what forces the find computation).
+      const node_id leader = leader_of(op.a);
+      const node& lnode = run_->at(leader);
+      if (!lnode.done().contains(op_node_[step]) &&
+          !lnode.more().contains(op_node_[step])) {
+        std::ostringstream ss;
+        ss << "step " << step << ": find(" << op.a << ") — leader " << leader
+           << " does not know probe node " << op_node_[step];
+        errors_.push_back(ss.str());
+      }
+    }
+    // Distributed components must agree with the reference DSU: probe the
+    // operands of this operation against a rotating witness.
+    const std::size_t witness = (step * 31) % n_;
+    const bool dist_same = leader_of(op.a) == leader_of(witness);
+    const bool ref_same = reference.same(op.a, witness);
+    if (dist_same != ref_same) {
+      std::ostringstream ss;
+      ss << "step " << step << ": component disagreement between distributed"
+         << " execution and reference DSU for sets " << op.a << " and "
+         << witness;
+      errors_.push_back(ss.str());
+    }
+  }
+  // Wake anything never referenced by the schedule, then settle.
+  for (const node_id v : run_->ids())
+    if (!run_->net().is_awake(v)) run_->net().wake(v);
+  run_->net().run_to_quiescence();
+  return errors_.empty();
+}
+
+}  // namespace asyncrd::core

@@ -1,0 +1,64 @@
+// Lemma 3.1: the reduction from classic Union-Find to Ad-hoc Resource
+// Discovery, implemented as a driver around a real distributed execution.
+//
+// For a universe of n sets and a schedule U of unions and finds:
+//   * one node s_i per set S_i                      (ids 0 .. n-1)
+//   * per U(i, j): a node u with edges u->s_i, u->s_j
+//   * per F(i):    a node f with edge  f->s_i
+// The driver wakes the operation nodes in schedule order, running the
+// network to quiescence between operations — exactly the adversarial
+// wake-up sequence of the lemma's proof.  Waking u forces the algorithm to
+// merge the components of s_i and s_j (a union); waking f forces a
+// computation from s_i to reach the leader (a find).
+//
+// This gives both (a) the Theorem 2 lower-bound workload for the message
+// benchmark, and (b) a distributed Union-Find whose answers are checked
+// against a sequential reference DSU after every operation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "graph/digraph.h"
+#include "unionfind/dsu.h"
+
+namespace asyncrd::core {
+
+class uf_reduction {
+ public:
+  /// Builds the reduction network for a schedule over sets {0, .., n-1}.
+  /// `algo` defaults to the Ad-hoc variant (the lemma's subject) but the
+  /// Generic algorithm can be driven through the same workload.
+  uf_reduction(std::size_t n, std::vector<uf::uf_op> schedule,
+               variant algo = variant::adhoc);
+
+  /// Runs the whole wake-up sequence.  After every operation the
+  /// distributed answer is compared with the sequential reference DSU;
+  /// mismatches are recorded in errors().  Returns errors().empty().
+  bool execute();
+
+  /// Leader currently reachable from set node s_i via next pointers.
+  node_id leader_of(std::size_t set_index) const;
+
+  /// Total nodes in the reduction network (2n - 1 + m in the lemma).
+  std::size_t network_size() const noexcept { return total_nodes_; }
+
+  const sim::stats& statistics() const { return run_->statistics(); }
+  discovery_run& run() noexcept { return *run_; }
+  const std::vector<std::string>& errors() const noexcept { return errors_; }
+
+ private:
+  std::size_t n_;
+  std::vector<uf::uf_op> schedule_;
+  /// Operation node id for each schedule entry.
+  std::vector<node_id> op_node_;
+  std::size_t total_nodes_ = 0;
+  graph::digraph g_;
+  std::unique_ptr<sim::scheduler> sched_;
+  std::unique_ptr<discovery_run> run_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace asyncrd::core

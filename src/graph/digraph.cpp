@@ -1,0 +1,143 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stack>
+#include <stdexcept>
+
+namespace asyncrd::graph {
+
+const std::set<node_id> digraph::empty_set_{};
+
+void digraph::add_node(node_id v) { adj_.try_emplace(v); }
+
+void digraph::add_edge(node_id u, node_id v) {
+  if (u == v) {
+    add_node(u);
+    return;
+  }
+  add_node(v);
+  auto& outs = adj_[u];
+  if (outs.insert(v).second) ++edge_count_;
+}
+
+bool digraph::has_edge(node_id u, node_id v) const {
+  const auto it = adj_.find(u);
+  return it != adj_.end() && it->second.contains(v);
+}
+
+const std::set<node_id>& digraph::out(node_id v) const {
+  const auto it = adj_.find(v);
+  return it == adj_.end() ? empty_set_ : it->second;
+}
+
+std::vector<node_id> digraph::nodes() const {
+  std::vector<node_id> out;
+  out.reserve(adj_.size());
+  for (const auto& [v, outs] : adj_) out.push_back(v);
+  return out;
+}
+
+std::vector<std::vector<node_id>> digraph::weak_components() const {
+  // Union-find over the undirected shadow of the graph.
+  std::map<node_id, node_id> parent;
+  for (const auto& [v, outs] : adj_) parent[v] = v;
+
+  const auto find = [&](node_id x) {
+    node_id root = x;
+    while (parent[root] != root) root = parent[root];
+    while (parent[x] != root) {
+      const node_id next = parent[x];
+      parent[x] = root;
+      x = next;
+    }
+    return root;
+  };
+
+  for (const auto& [u, outs] : adj_)
+    for (const node_id v : outs) parent[find(u)] = find(v);
+
+  std::map<node_id, std::vector<node_id>> groups;
+  for (const auto& [v, outs] : adj_) groups[find(v)].push_back(v);
+
+  std::vector<std::vector<node_id>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+bool digraph::is_weakly_connected() const {
+  return adj_.size() <= 1 || weak_components().size() == 1;
+}
+
+std::vector<std::vector<node_id>> digraph::strong_components() const {
+  // Iterative Tarjan SCC.
+  std::map<node_id, std::size_t> index, lowlink;
+  std::set<node_id> on_stack;
+  std::vector<node_id> scc_stack;
+  std::vector<std::vector<node_id>> result;
+  std::size_t next_index = 0;
+
+  struct frame {
+    node_id v;
+    std::set<node_id>::const_iterator it;
+  };
+
+  for (const auto& [start, start_outs] : adj_) {
+    if (index.contains(start)) continue;
+    std::stack<frame> call;
+    index[start] = lowlink[start] = next_index++;
+    scc_stack.push_back(start);
+    on_stack.insert(start);
+    call.push({start, out(start).begin()});
+
+    while (!call.empty()) {
+      frame& f = call.top();
+      if (f.it != out(f.v).end()) {
+        const node_id w = *f.it++;
+        if (!index.contains(w)) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack.insert(w);
+          call.push({w, out(w).begin()});
+        } else if (on_stack.contains(w)) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const node_id v = f.v;
+        call.pop();
+        if (!call.empty())
+          lowlink[call.top().v] = std::min(lowlink[call.top().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          std::vector<node_id> comp;
+          for (;;) {
+            const node_id w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack.erase(w);
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(comp.begin(), comp.end());
+          result.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool digraph::is_strongly_connected() const {
+  return adj_.size() <= 1 || strong_components().size() == 1;
+}
+
+std::map<node_id, std::size_t> digraph::weak_component_sizes() const {
+  std::map<node_id, std::size_t> sizes;
+  for (const auto& comp : weak_components())
+    for (const node_id v : comp) sizes[v] = comp.size();
+  return sizes;
+}
+
+}  // namespace asyncrd::graph

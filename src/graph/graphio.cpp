@@ -1,0 +1,95 @@
+#include "graph/graphio.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace asyncrd::graph {
+
+namespace {
+
+bool is_comment_or_blank(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    if (c == '#') return true;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') return true;
+    return false;
+  }
+  return true;  // blank
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  std::ostringstream ss;
+  ss << "edge list parse error at line " << line_no << ": " << why;
+  throw std::runtime_error(ss.str());
+}
+
+}  // namespace
+
+digraph read_edge_list(std::istream& in) {
+  digraph g;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "node") {
+      unsigned long long v = 0;
+      if (!(ls >> v)) fail(line_no, "expected node id after 'node'");
+      g.add_node(static_cast<node_id>(v));
+      continue;
+    }
+    unsigned long long u = 0, v = 0;
+    try {
+      u = std::stoull(first);
+    } catch (const std::exception&) {
+      fail(line_no, "expected a node id, got '" + first + "'");
+    }
+    if (!(ls >> v)) fail(line_no, "expected destination node id");
+    std::string extra;
+    if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
+    g.add_edge(static_cast<node_id>(u), static_cast<node_id>(v));
+  }
+  return g;
+}
+
+digraph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const digraph& g, std::ostream& out) {
+  out << "# asyncrd knowledge graph: " << g.node_count() << " nodes, "
+      << g.edge_count() << " edges\n";
+  for (const node_id v : g.nodes()) {
+    if (g.out(v).empty()) {
+      bool has_in_edge = false;
+      for (const node_id u : g.nodes()) {
+        if (g.has_edge(u, v)) {
+          has_in_edge = true;
+          break;
+        }
+      }
+      if (!has_in_edge) out << "node " << v << '\n';
+    }
+    for (const node_id w : g.out(v)) out << v << ' ' << w << '\n';
+  }
+}
+
+std::string to_dot(const digraph& g) {
+  std::ostringstream ss;
+  ss << "digraph knowledge {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (const node_id v : g.nodes()) ss << "  n" << v << " [label=\"" << v
+                                       << "\"];\n";
+  for (const node_id v : g.nodes())
+    for (const node_id w : g.out(v)) ss << "  n" << v << " -> n" << w << ";\n";
+  ss << "}\n";
+  return ss.str();
+}
+
+}  // namespace asyncrd::graph

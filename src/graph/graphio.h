@@ -1,0 +1,32 @@
+// Reading and writing knowledge graphs.
+//
+// Edge-list format (one directive per line):
+//   # comment                 (also "//"; blank lines ignored)
+//   <u> <v>                   directed edge: u initially knows v
+//   node <v>                  isolated node declaration
+//
+// Plus a Graphviz DOT exporter for visualizing E0 and discovery outcomes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace asyncrd::graph {
+
+/// Parses the edge-list format; throws std::runtime_error with a
+/// line-numbered message on malformed input.
+digraph read_edge_list(std::istream& in);
+
+/// Convenience: read from a file path.
+digraph read_edge_list_file(const std::string& path);
+
+/// Writes the graph in the same format (stable order: by node id).
+void write_edge_list(const digraph& g, std::ostream& out);
+
+/// Graphviz DOT (directed).  Optional per-node annotation callback result
+/// is placed in the node label under the id.
+std::string to_dot(const digraph& g);
+
+}  // namespace asyncrd::graph

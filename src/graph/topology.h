@@ -1,0 +1,85 @@
+// Topology generators for experiments and tests.
+//
+// Each generator returns a knowledge graph (initial edge set E0).  The
+// lower-bound experiment (Theorem 1) uses the directed complete binary tree
+// T(i); the scaling experiments (Theorems 5-7) sweep random weakly-connected
+// digraphs of varying density; Lemma 3.1's reduction network is built in
+// core/uf_reduction.h because its structure is derived from an operation
+// sequence, not from a size parameter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/digraph.h"
+
+namespace asyncrd::graph {
+
+/// T(levels): complete rooted binary tree with 2^levels - 1 nodes, all edges
+/// directed toward the leaves (Theorem 1's adversarial topology).  Node 0 is
+/// the root; node v's children are 2v+1 and 2v+2 (heap layout).
+digraph directed_binary_tree(std::size_t levels);
+
+/// Internal (non-leaf) nodes of T(levels) in post-order (children before
+/// parents) — the order in which Theorem 1's adversary releases stalled
+/// senders.
+std::vector<node_id> binary_tree_internal_postorder(std::size_t levels);
+
+/// 0 -> 1 -> 2 -> ... -> n-1.
+digraph directed_path(std::size_t n);
+
+/// Center 0 knows everyone: 0 -> i for all i >= 1.
+digraph star_out(std::size_t n);
+
+/// Everyone knows center 0: i -> 0 for all i >= 1.
+digraph star_in(std::size_t n);
+
+/// Complete digraph on n nodes (both directions).
+digraph clique(std::size_t n);
+
+/// Bidirectional ring (strongly connected; used by the strongly-connected
+/// leader-election baseline contrast).
+digraph ring(std::size_t n);
+
+/// Random weakly connected digraph: a random arborescence with random edge
+/// orientations guarantees weak connectivity; `extra_edges` additional
+/// random directed edges control density.  Ids are a random permutation of
+/// 0..n-1 so that id order is uncorrelated with structure.
+digraph random_weakly_connected(std::size_t n, std::size_t extra_edges,
+                                std::uint64_t seed);
+
+/// G(n, p) Erdős–Rényi digraph with weak connectivity repaired by chaining
+/// components with single edges.
+digraph erdos_renyi_connected(std::size_t n, double p, std::uint64_t seed);
+
+/// Preferential attachment: node i (in random arrival order) picks k
+/// targets among earlier arrivals with probability proportional to degree.
+/// Weakly connected by construction.
+digraph preferential_attachment(std::size_t n, std::size_t k,
+                                std::uint64_t seed);
+
+/// Disjoint union of `parts` copies of random weakly connected graphs of
+/// size part_n each — multi-component safety tests.
+digraph multi_component(std::size_t parts, std::size_t part_n,
+                        std::size_t extra_edges_per_part, std::uint64_t seed);
+
+/// d-dimensional hypercube with each undirected edge given one random
+/// orientation: weakly connected, diameter d, 2^d nodes.
+digraph hypercube(std::size_t dims, std::uint64_t seed);
+
+/// rows x cols grid, edges directed right and down (a DAG with one source).
+digraph grid(std::size_t rows, std::size_t cols);
+
+/// Layered DAG: `layers` layers of `width` nodes; each node knows `fanout`
+/// random nodes of the next layer.  Weakly connected by construction
+/// (missing links are repaired along the layer order).
+digraph layered_dag(std::size_t layers, std::size_t width, std::size_t fanout,
+                    std::uint64_t seed);
+
+/// Two cliques of size k joined by a single directed bridge — the classic
+/// "bowtie" where the bridge endpoint is the only cross-cluster knowledge.
+digraph bowtie(std::size_t k);
+
+}  // namespace asyncrd::graph

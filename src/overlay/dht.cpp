@@ -1,0 +1,317 @@
+#include "overlay/dht.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace asyncrd::overlay {
+
+namespace {
+
+// x in (a, b] clockwise on the 2^32 circle; (a, a] is the full circle
+// (single-node ring owns every key).
+bool in_open_closed(key_t a, key_t x, key_t b) noexcept {
+  const std::uint32_t dx = static_cast<std::uint32_t>(x - a);
+  const std::uint32_t db = static_cast<std::uint32_t>(b - a);
+  if (db == 0) return dx != 0 || x == b;  // full circle
+  return dx != 0 && dx <= db;
+}
+
+// x in (a, b) clockwise.
+bool in_open_open(key_t a, key_t x, key_t b) noexcept {
+  const std::uint32_t dx = static_cast<std::uint32_t>(x - a);
+  const std::uint32_t db = static_cast<std::uint32_t>(b - a);
+  if (db == 0) return dx != 0;  // full circle, excluding a itself
+  return dx != 0 && dx < db;
+}
+
+// --- protocol messages ------------------------------------------------------
+
+struct tick_msg final : sim::message {
+  std::string_view type_name() const noexcept override { return "dht_tick"; }
+  std::size_t id_fields() const noexcept override { return 0; }
+};
+
+struct find_req final : sim::message {
+  find_req(key_t k, node_id o, std::uint32_t r, std::size_t h,
+           std::uint8_t p, std::uint8_t s)
+      : key(k), origin(o), request(r), hops(h), purpose(p), slot(s) {}
+  key_t key;
+  node_id origin;
+  std::uint32_t request;
+  std::size_t hops;
+  std::uint8_t purpose;  // 0 = user lookup, 1 = join, 2 = finger fix
+  std::uint8_t slot;     // finger index for purpose 2
+
+  std::string_view type_name() const noexcept override { return "dht_find"; }
+  std::size_t id_fields() const noexcept override { return 2; }  // key+origin
+  std::size_t int_fields() const noexcept override { return 2; }
+  std::size_t flag_bits() const noexcept override { return 2; }
+};
+
+struct find_resp final : sim::message {
+  find_resp(key_t k, node_id h, std::uint32_t r, std::size_t hp,
+            std::uint8_t p, std::uint8_t s)
+      : key(k), home(h), request(r), hops(hp), purpose(p), slot(s) {}
+  key_t key;
+  node_id home;
+  std::uint32_t request;
+  std::size_t hops;
+  std::uint8_t purpose;
+  std::uint8_t slot;
+
+  std::string_view type_name() const noexcept override {
+    return "dht_find_resp";
+  }
+  std::size_t id_fields() const noexcept override { return 2; }
+  std::size_t int_fields() const noexcept override { return 2; }
+  std::size_t flag_bits() const noexcept override { return 2; }
+};
+
+struct get_pred_req final : sim::message {
+  std::string_view type_name() const noexcept override {
+    return "dht_get_pred";
+  }
+  std::size_t id_fields() const noexcept override { return 0; }
+};
+
+struct get_pred_resp final : sim::message {
+  explicit get_pred_resp(node_id p) : pred(p) {}
+  node_id pred;
+  std::string_view type_name() const noexcept override {
+    return "dht_pred_resp";
+  }
+  std::size_t id_fields() const noexcept override { return 1; }
+};
+
+struct notify_msg final : sim::message {
+  explicit notify_msg(node_id c) : candidate(c) {}
+  node_id candidate;
+  std::string_view type_name() const noexcept override {
+    return "dht_notify";
+  }
+  std::size_t id_fields() const noexcept override { return 1; }
+};
+
+/// Event-driven healing hint: "node `candidate` may now sit between you and
+/// your successor".  Sent to the displaced predecessor when a notify lands,
+/// so a join heals both ring sides immediately instead of waiting for the
+/// neighbors' periodic stabilization budget (which may be exhausted).
+struct succ_hint_msg final : sim::message {
+  explicit succ_hint_msg(node_id c) : candidate(c) {}
+  node_id candidate;
+  std::string_view type_name() const noexcept override {
+    return "dht_succ_hint";
+  }
+  std::size_t id_fields() const noexcept override { return 1; }
+};
+
+}  // namespace
+
+// --- construction -----------------------------------------------------------
+
+dht_node::dht_node(node_id id, std::vector<node_id> census,
+                   std::size_t maintenance_ticks)
+    : id_(id),
+      fingers_(finger_count, invalid_node),
+      ticks_left_(maintenance_ticks) {
+  ring_overlay ring(std::move(census));
+  ASYNCRD_CHECK(ring.contains(id_));
+  successor_ = ring.successor(id_);
+  predecessor_ = ring.predecessor(id_);
+  const finger_table ft = ring.fingers_of(id_);
+  for (std::size_t k = 0; k < finger_count; ++k) fingers_[k] = ft.fingers[k];
+}
+
+dht_node::dht_node(node_id id, node_id bootstrap,
+                   std::size_t maintenance_ticks)
+    : id_(id),
+      bootstrap_(bootstrap),
+      fingers_(finger_count, invalid_node),
+      ticks_left_(maintenance_ticks) {}
+
+// --- helpers ----------------------------------------------------------------
+
+bool dht_node::owns(key_t key) const {
+  if (predecessor_ == invalid_node) return successor_ == id_;
+  return in_open_closed(static_cast<key_t>(predecessor_), key,
+                        static_cast<key_t>(id_));
+}
+
+node_id dht_node::closest_preceding(key_t key) const {
+  for (std::size_t k = fingers_.size(); k-- > 0;) {
+    const node_id f = fingers_[k];
+    if (f == invalid_node || f == id_) continue;
+    if (in_open_open(static_cast<key_t>(id_), static_cast<key_t>(f), key))
+      return f;
+  }
+  return successor_;
+}
+
+void dht_node::route_find(sim::context& ctx, key_t key, node_id origin,
+                          std::uint32_t request, std::size_t hops,
+                          std::uint8_t purpose, std::uint8_t slot) {
+  // Single-node ring or key in (id, successor]: the successor owns it.
+  if (successor_ == id_ ||
+      in_open_closed(static_cast<key_t>(id_), key,
+                     static_cast<key_t>(successor_))) {
+    const node_id home = successor_ == id_ ? id_ : successor_;
+    if (origin == id_) {
+      // Resolved locally: deliver to ourselves without a network hop.
+      if (purpose == 0)
+        results_.push_back({key, home, hops, ctx.now()});
+      else if (purpose == 2 && slot < fingers_.size())
+        fingers_[slot] = home;
+      else if (purpose == 1)
+        successor_ = home;  // degenerate self-join
+      return;
+    }
+    ctx.send(origin,
+             sim::make_message<find_resp>(key, home, request, hops, purpose,
+                                          slot));
+    return;
+  }
+  const node_id next = closest_preceding(key);
+  if (next == id_ || next == invalid_node) {
+    // No better finger: hand to the successor (always makes progress).
+    ctx.send(successor_, sim::make_message<find_req>(key, origin, request,
+                                                     hops + 1, purpose, slot));
+    return;
+  }
+  ctx.send(next, sim::make_message<find_req>(key, origin, request, hops + 1,
+                                             purpose, slot));
+}
+
+void dht_node::schedule_tick(sim::context& ctx) {
+  if (ticks_left_ == 0) return;
+  ctx.send(id_, sim::make_message<tick_msg>());
+}
+
+// --- process hooks ----------------------------------------------------------
+
+void dht_node::on_wake(sim::context& ctx) {
+  if (bootstrap_ != invalid_node && successor_ == invalid_node) {
+    // Late join: locate our successor through the bootstrap contact.
+    ctx.send(bootstrap_,
+             sim::make_message<find_req>(static_cast<key_t>(id_), id_,
+                                         next_request_++, 0, /*purpose=*/1,
+                                         0));
+    return;
+  }
+  schedule_tick(ctx);
+}
+
+void dht_node::start_lookup(sim::network& net, key_t key) {
+  sim::context ctx(net, id_);
+  if (!joined()) {
+    queued_lookups_.push_back(key);
+    return;
+  }
+  route_find(ctx, key, id_, next_request_++, 0, /*purpose=*/0, 0);
+}
+
+void dht_node::on_message(sim::context& ctx, node_id from,
+                          const sim::message_ptr& m) {
+  if (dynamic_cast<const tick_msg*>(m.get()) != nullptr) {
+    if (ticks_left_ == 0) return;
+    --ticks_left_;
+    // Stabilize: ask our successor who it believes precedes it.
+    if (successor_ != invalid_node && successor_ != id_)
+      ctx.send(successor_, sim::make_message<get_pred_req>());
+    // Fix one finger per tick via a routed self-lookup.
+    if (joined()) {
+      const std::uint8_t slot =
+          static_cast<std::uint8_t>(next_finger_to_fix_);
+      const key_t target = static_cast<key_t>(
+          id_ + (static_cast<std::uint64_t>(1) << next_finger_to_fix_));
+      next_finger_to_fix_ = next_finger_to_fix_ % (finger_count - 1) + 1;
+      route_find(ctx, target, id_, next_request_++, 0, /*purpose=*/2, slot);
+    }
+    schedule_tick(ctx);
+    return;
+  }
+  if (const auto* req = dynamic_cast<const find_req*>(m.get())) {
+    route_find(ctx, req->key, req->origin, req->request, req->hops,
+               req->purpose, req->slot);
+    return;
+  }
+  if (const auto* resp = dynamic_cast<const find_resp*>(m.get())) {
+    switch (resp->purpose) {
+      case 0:
+        results_.push_back({resp->key, resp->home, resp->hops, ctx.now()});
+        break;
+      case 1: {
+        // Join completed: adopt the home as successor and start healing.
+        successor_ = resp->home;
+        fingers_[0] = resp->home;
+        ctx.send(successor_, sim::make_message<notify_msg>(id_));
+        schedule_tick(ctx);
+        for (const key_t k : queued_lookups_)
+          route_find(ctx, k, id_, next_request_++, 0, 0, 0);
+        queued_lookups_.clear();
+        break;
+      }
+      case 2:
+        if (resp->slot < fingers_.size()) fingers_[resp->slot] = resp->home;
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  if (dynamic_cast<const get_pred_req*>(m.get()) != nullptr) {
+    ctx.send(from, sim::make_message<get_pred_resp>(predecessor_));
+    return;
+  }
+  if (const auto* pr = dynamic_cast<const get_pred_resp*>(m.get())) {
+    // Chord stabilize: if our successor's predecessor sits between us and
+    // the successor, it is our new successor; then notify.
+    if (pr->pred != invalid_node && successor_ != invalid_node &&
+        in_open_open(static_cast<key_t>(id_), static_cast<key_t>(pr->pred),
+                     static_cast<key_t>(successor_))) {
+      successor_ = pr->pred;
+      fingers_[0] = pr->pred;
+    }
+    if (successor_ != invalid_node && successor_ != id_)
+      ctx.send(successor_, sim::make_message<notify_msg>(id_));
+    return;
+  }
+  if (const auto* n = dynamic_cast<const notify_msg*>(m.get())) {
+    if (predecessor_ == invalid_node ||
+        in_open_open(static_cast<key_t>(predecessor_),
+                     static_cast<key_t>(n->candidate),
+                     static_cast<key_t>(id_))) {
+      const node_id displaced = predecessor_;
+      predecessor_ = n->candidate;
+      // Heal the other side of the splice right away: the displaced
+      // predecessor's successor pointer still skips over the candidate.
+      if (displaced != invalid_node && displaced != n->candidate)
+        ctx.send(displaced, sim::make_message<succ_hint_msg>(n->candidate));
+    }
+    return;
+  }
+  if (const auto* h = dynamic_cast<const succ_hint_msg*>(m.get())) {
+    if (successor_ != invalid_node &&
+        in_open_open(static_cast<key_t>(id_), static_cast<key_t>(h->candidate),
+                     static_cast<key_t>(successor_))) {
+      successor_ = h->candidate;
+      fingers_[0] = h->candidate;
+      ctx.send(successor_, sim::make_message<notify_msg>(id_));
+    }
+    return;
+  }
+  ASYNCRD_CHECK(false && "unknown DHT message");
+}
+
+std::unique_ptr<sim::network> make_dht_network(
+    const std::vector<node_id>& census, sim::scheduler& sched,
+    std::size_t maintenance_ticks) {
+  auto net = std::make_unique<sim::network>(sched);
+  for (const node_id v : census)
+    net->add_node(v,
+                  std::make_unique<dht_node>(v, census, maintenance_ticks));
+  for (const node_id v : census) net->wake(v);
+  return net;
+}
+
+}  // namespace asyncrd::overlay

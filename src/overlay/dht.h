@@ -1,0 +1,101 @@
+// A message-passing Chord-style DHT running on the asynchronous simulator —
+// the paper's motivating application realized as an actual protocol on the
+// same substrate as the discovery algorithms.
+//
+// Role in this repository: resource discovery solves the *bootstrap*
+// problem ("peers across the Internet initially know only a small number
+// of peers"); this module is the downstream system the paper's intro says
+// peers build next.  A peer starts with either (a) the full id census from
+// a discovery leader — its ring state is then computed locally — or (b) a
+// single bootstrap contact (a node that joined late, §6-style), in which
+// case it joins by routed lookup and the ring heals through Chord's
+// stabilize/notify/fix-fingers protocol, all as simulator messages.
+//
+// The protocol is deliberately classic Chord (successor ownership of keys,
+// closest-preceding-finger greedy routing, periodic stabilization) with
+// one simplification: periodic timers are modeled as self-addressed tick
+// messages with a finite budget, so a run quiesces once maintenance
+// finishes — matching the simulator's run-to-quiescence execution model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "overlay/ring.h"
+#include "sim/network.h"
+
+namespace asyncrd::overlay {
+
+/// Outcome of one distributed lookup, recorded at the requesting node.
+struct dht_lookup_result {
+  key_t key = 0;
+  node_id home = invalid_node;
+  std::size_t hops = 0;  ///< routing messages traversed (excl. final reply)
+  sim::sim_time completed_at = 0;
+};
+
+class dht_node final : public sim::process {
+ public:
+  /// Full-census construction (post-discovery): ring state is derived
+  /// locally; no join traffic needed.
+  dht_node(node_id id, std::vector<node_id> census,
+           std::size_t maintenance_ticks = 0);
+
+  /// Late-join construction: knows only `bootstrap`; on wake it locates
+  /// its successor by routed lookup and heals the ring via
+  /// `maintenance_ticks` rounds of stabilize + fix-fingers.
+  dht_node(node_id id, node_id bootstrap, std::size_t maintenance_ticks);
+
+  void on_wake(sim::context& ctx) override;
+  void on_message(sim::context& ctx, node_id from,
+                  const sim::message_ptr& m) override;
+
+  /// Issues a distributed lookup; the result lands in lookups() once the
+  /// network quiesces.
+  void start_lookup(sim::network& net, key_t key);
+
+  // --- inspection ---------------------------------------------------------
+  node_id id() const noexcept { return id_; }
+  node_id successor() const noexcept { return successor_; }
+  node_id predecessor() const noexcept { return predecessor_; }
+  const std::vector<node_id>& fingers() const noexcept { return fingers_; }
+  bool joined() const noexcept { return successor_ != invalid_node; }
+  const std::vector<dht_lookup_result>& lookups() const noexcept {
+    return results_;
+  }
+
+  static constexpr std::size_t finger_count = 32;
+
+ private:
+  void route_find(sim::context& ctx, key_t key, node_id origin,
+                  std::uint32_t request, std::size_t hops,
+                  std::uint8_t purpose, std::uint8_t slot);
+  node_id closest_preceding(key_t key) const;
+  bool owns(key_t key) const;
+  void schedule_tick(sim::context& ctx);
+  static std::uint64_t clockwise(key_t a, key_t b) noexcept {
+    return static_cast<std::uint32_t>(b - a);
+  }
+
+  node_id id_;
+  node_id bootstrap_ = invalid_node;
+  node_id successor_ = invalid_node;
+  node_id predecessor_ = invalid_node;
+  std::vector<node_id> fingers_;  // invalid_node when unknown
+  std::size_t ticks_left_;
+  std::size_t next_finger_to_fix_ = 1;
+  std::uint32_t next_request_ = 1;
+  std::vector<dht_lookup_result> results_;
+  std::vector<key_t> queued_lookups_;  // issued before the node joined
+};
+
+/// Builds a DHT network: every census member as a dht_node (full-census
+/// construction), woken and ready.  The returned network references
+/// `sched`, which must outlive it.
+std::unique_ptr<sim::network> make_dht_network(
+    const std::vector<node_id>& census, sim::scheduler& sched,
+    std::size_t maintenance_ticks = 0);
+
+}  // namespace asyncrd::overlay

@@ -1,0 +1,101 @@
+#include "overlay/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asyncrd::overlay {
+
+ring_overlay::ring_overlay(std::vector<node_id> census) {
+  rebuild(std::move(census));
+}
+
+void ring_overlay::rebuild(std::vector<node_id> census) {
+  std::sort(census.begin(), census.end());
+  census.erase(std::unique(census.begin(), census.end()), census.end());
+  ring_ = std::move(census);
+}
+
+bool ring_overlay::contains(node_id v) const {
+  return std::binary_search(ring_.begin(), ring_.end(), v);
+}
+
+std::size_t ring_overlay::index_of(node_id member) const {
+  const auto it = std::lower_bound(ring_.begin(), ring_.end(), member);
+  if (it == ring_.end() || *it != member)
+    throw std::invalid_argument("not a ring member");
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::uint64_t ring_overlay::clockwise(key_t a, key_t b) noexcept {
+  return static_cast<std::uint32_t>(b - a);  // mod 2^32 wraparound
+}
+
+node_id ring_overlay::successor_of(key_t key) const {
+  if (ring_.empty()) throw std::logic_error("empty ring");
+  // First member >= key, wrapping to the smallest member.
+  const auto it = std::lower_bound(ring_.begin(), ring_.end(), key);
+  return it == ring_.end() ? ring_.front() : *it;
+}
+
+node_id ring_overlay::successor(node_id member) const {
+  const std::size_t i = index_of(member);
+  return ring_[(i + 1) % ring_.size()];
+}
+
+node_id ring_overlay::predecessor(node_id member) const {
+  const std::size_t i = index_of(member);
+  return ring_[(i + ring_.size() - 1) % ring_.size()];
+}
+
+finger_table ring_overlay::fingers_of(node_id member) const {
+  finger_table ft;
+  ft.owner = member;
+  ft.successor = successor(member);
+  ft.predecessor = predecessor(member);
+  ft.fingers.reserve(32);
+  for (std::size_t k = 0; k < 32; ++k) {
+    const key_t target = static_cast<key_t>(
+        member + (static_cast<std::uint64_t>(1) << k));
+    ft.fingers.push_back(successor_of(target));
+  }
+  return ft;
+}
+
+lookup_result ring_overlay::lookup(node_id from, key_t key) const {
+  lookup_result res;
+  if (ring_.empty()) return res;
+  res.home = successor_of(key);
+  node_id cur = from;
+  res.path.push_back(cur);
+  // Chord greedy routing: while cur is not the home, jump to the finger
+  // that gets closest to (but not past) the key's home.
+  std::size_t guard = 0;
+  while (cur != res.home && guard++ <= ring_.size() + 33) {
+    // If the key lies between cur and cur's successor, the successor owns
+    // it — final hop.
+    const node_id succ = successor(cur);
+    if (clockwise(static_cast<key_t>(cur) + 1, key) <=
+        clockwise(static_cast<key_t>(cur) + 1, static_cast<key_t>(succ))) {
+      cur = succ;
+      res.path.push_back(cur);
+      break;
+    }
+    // Otherwise: closest preceding finger strictly between cur and key.
+    const finger_table ft = fingers_of(cur);
+    node_id next_hop = succ;
+    for (std::size_t k = ft.fingers.size(); k-- > 0;) {
+      const node_id f = ft.fingers[k];
+      if (f == cur) continue;
+      if (clockwise(static_cast<key_t>(cur) + 1, static_cast<key_t>(f)) <
+          clockwise(static_cast<key_t>(cur) + 1, key)) {
+        next_hop = f;
+        break;
+      }
+    }
+    cur = next_hop;
+    res.path.push_back(cur);
+  }
+  return res;
+}
+
+}  // namespace asyncrd::overlay

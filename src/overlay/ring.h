@@ -1,0 +1,86 @@
+// Chord-style ring overlay built from a resource-discovery census.
+//
+// The paper's introduction motivates resource discovery as the bootstrap
+// step of exactly this: "Once all peers that are interested get to know of
+// each other they may cooperate on joint tasks (for example ... may build
+// an overlay network and form a distributed hash table [Chord, CAN,
+// Viceroy, Tapestry])."  This module is that downstream consumer: given
+// the id census a leader gathered, it arranges the peers on a circular
+// 32-bit key space, equips each with a finger table, and routes lookups in
+// O(log n) hops.
+//
+// The overlay is a *deterministic function of the census* — any two peers
+// holding the same census compute identical routing state, so after the
+// discovery phase no further coordination messages are needed to agree on
+// the structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace asyncrd::overlay {
+
+/// Key type: the same circular space as node ids (2^32).
+using key_t = std::uint32_t;
+
+/// One peer's routing state.
+struct finger_table {
+  node_id owner = invalid_node;
+  node_id successor = invalid_node;
+  node_id predecessor = invalid_node;
+  /// fingers[k] = the peer responsible for owner + 2^k (mod 2^32).
+  std::vector<node_id> fingers;
+};
+
+/// Result of a routed lookup.
+struct lookup_result {
+  node_id home = invalid_node;     ///< peer responsible for the key
+  std::vector<node_id> path;       ///< peers visited, starting peer first
+  std::size_t hops() const noexcept { return path.empty() ? 0 : path.size() - 1; }
+};
+
+class ring_overlay {
+ public:
+  ring_overlay() = default;
+
+  /// Builds the ring from a census (e.g. leader->done() or a probe reply).
+  /// Ids need not be sorted or unique; empty census yields an empty ring.
+  explicit ring_overlay(std::vector<node_id> census);
+
+  std::size_t size() const noexcept { return ring_.size(); }
+  bool empty() const noexcept { return ring_.empty(); }
+  const std::vector<node_id>& members() const noexcept { return ring_; }
+  bool contains(node_id v) const;
+
+  /// The peer responsible for `key`: the first member clockwise from key
+  /// (Chord's successor function).
+  node_id successor_of(key_t key) const;
+
+  /// Immediate ring neighbors of a member.
+  node_id successor(node_id member) const;
+  node_id predecessor(node_id member) const;
+
+  /// The full routing state of one member.
+  finger_table fingers_of(node_id member) const;
+
+  /// Greedy finger routing from `from` to the peer responsible for `key`;
+  /// each hop moves to the closest preceding finger, exactly Chord's
+  /// lookup.  Guaranteed to terminate in O(log n) expected hops.
+  lookup_result lookup(node_id from, key_t key) const;
+
+  /// Rebuilds after membership change (e.g. a fresh census after §6
+  /// dynamic joins).  Equivalent to assigning a new ring_overlay.
+  void rebuild(std::vector<node_id> census);
+
+ private:
+  std::size_t index_of(node_id member) const;  // throws if absent
+  /// Clockwise distance from a to b on the 2^32 circle.
+  static std::uint64_t clockwise(key_t a, key_t b) noexcept;
+
+  std::vector<node_id> ring_;  // sorted ascending
+};
+
+}  // namespace asyncrd::overlay

@@ -1,0 +1,73 @@
+#include "sim/event_log.h"
+
+#include <ostream>
+
+namespace asyncrd::sim {
+
+void event_log::on_wake(sim_time t, node_id v) {
+  push({logged_event::kind::wake, t, invalid_node, v, {}});
+}
+
+void event_log::on_send(sim_time t, node_id from, node_id to,
+                        const message& m) {
+  push({logged_event::kind::send, t, from, to, std::string(m.type_name())});
+}
+
+void event_log::on_deliver(sim_time t, node_id from, node_id to,
+                           const message& m) {
+  push({logged_event::kind::deliver, t, from, to,
+        std::string(m.type_name())});
+}
+
+void event_log::push(logged_event ev) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::vector<logged_event> event_log::of_kind(logged_event::kind k) const {
+  std::vector<logged_event> out;
+  for (const auto& e : events_)
+    if (e.what == k) out.push_back(e);
+  return out;
+}
+
+std::vector<logged_event> event_log::touching(node_id v) const {
+  std::vector<logged_event> out;
+  for (const auto& e : events_)
+    if (e.from == v || e.to == v) out.push_back(e);
+  return out;
+}
+
+void event_log::render(std::ostream& os, std::size_t max_lines) const {
+  std::size_t lines = 0;
+  for (const auto& e : events_) {
+    if (lines++ >= max_lines) {
+      os << "... (" << events_.size() - max_lines << " more events)\n";
+      return;
+    }
+    os << "t=" << e.at << ' ';
+    switch (e.what) {
+      case logged_event::kind::wake:
+        os << "wake    " << e.to;
+        break;
+      case logged_event::kind::send:
+        os << "send    " << e.from << " -> " << e.to << ' ' << e.type;
+        break;
+      case logged_event::kind::deliver:
+        os << "deliver " << e.from << " -> " << e.to << ' ' << e.type;
+        break;
+    }
+    os << '\n';
+  }
+  if (dropped_ > 0) os << "(" << dropped_ << " events dropped at capacity)\n";
+}
+
+void event_log::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace asyncrd::sim

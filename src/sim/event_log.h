@@ -1,0 +1,58 @@
+// Structured execution logging: an observer that records every wake, send,
+// and delivery, with helpers to render a readable timeline.  Used by the
+// trace_timeline example and by tests that assert on event order; cheap
+// enough to arm on any run you need to debug.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/network.h"
+
+namespace asyncrd::sim {
+
+struct logged_event {
+  enum class kind : std::uint8_t { wake, send, deliver };
+  kind what;
+  sim_time at;
+  node_id from = invalid_node;  // unused for wake
+  node_id to = invalid_node;    // the woken node for wake
+  std::string type;             // message type name; empty for wake
+};
+
+class event_log final : public observer {
+ public:
+  /// Keep at most `capacity` events (older events are dropped and counted).
+  explicit event_log(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void on_wake(sim_time t, node_id v) override;
+  void on_send(sim_time t, node_id from, node_id to, const message& m) override;
+  void on_deliver(sim_time t, node_id from, node_id to,
+                  const message& m) override;
+
+  const std::vector<logged_event>& events() const noexcept { return events_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Events of one kind, in order.
+  std::vector<logged_event> of_kind(logged_event::kind k) const;
+
+  /// Events touching one node (as sender, receiver, or woken), in order.
+  std::vector<logged_event> touching(node_id v) const;
+
+  /// One line per event: "t=12 deliver 3->7 search".
+  void render(std::ostream& os, std::size_t max_lines = 200) const;
+
+  void clear();
+
+ private:
+  void push(logged_event ev);
+
+  std::size_t capacity_;
+  std::vector<logged_event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace asyncrd::sim

@@ -1,0 +1,65 @@
+#include "sim/explore.h"
+
+namespace asyncrd::sim {
+
+explore_result explore_interleavings(
+    const std::function<network*()>& reset,
+    const std::function<std::string()>& check,
+    const explore_limits& limits) {
+  explore_result result;
+  std::vector<std::size_t> path;    // option index chosen at each depth
+  std::vector<std::size_t> fanout;  // option count observed at each depth
+
+  for (;;) {
+    if (result.executions >= limits.max_executions) {
+      result.complete = false;
+      return result;
+    }
+    // Replay the current prefix on a fresh system (executions are
+    // deterministic given the choice sequence, so replay is exact).
+    network* net = reset();
+    fanout.resize(path.size());
+    for (std::size_t d = 0; d < path.size(); ++d) {
+      const auto opts = net->manual_options();
+      fanout[d] = opts.size();
+      net->take_step(opts[path[d]]);
+      ++result.steps;
+    }
+    // Extend greedily with first options until quiescence (or the depth
+    // limit, which marks the search incomplete).
+    bool truncated = false;
+    for (;;) {
+      const auto opts = net->manual_options();
+      if (opts.empty()) break;
+      if (path.size() >= limits.max_depth) {
+        truncated = true;
+        break;
+      }
+      path.push_back(0);
+      fanout.push_back(opts.size());
+      net->take_step(opts[0]);
+      ++result.steps;
+    }
+    if (truncated) {
+      result.complete = false;
+    } else {
+      ++result.executions;
+      const std::string verdict = check();
+      if (!verdict.empty() && result.violations.size() < 8)
+        result.violations.push_back(verdict);
+    }
+    // Backtrack in memory: bump the deepest choice with an unexplored
+    // sibling; exhausted when the path empties.
+    for (;;) {
+      if (path.empty()) return result;
+      if (path.back() + 1 < fanout[path.size() - 1]) {
+        ++path.back();
+        break;
+      }
+      path.pop_back();
+      fanout.pop_back();
+    }
+  }
+}
+
+}  // namespace asyncrd::sim

@@ -1,0 +1,49 @@
+// Bounded exhaustive interleaving exploration — a stateless model checker
+// for protocols running on the simulator.
+//
+// The asynchronous model's adversary chooses, at every moment, which ready
+// event fires next: any pending wake, or the head of any non-empty FIFO
+// channel.  explore_interleavings() enumerates EVERY such schedule for a
+// (small) system by depth-first search over choice sequences, rebuilding
+// the system from scratch for each prefix (states are not snapshottable;
+// executions are deterministic given the choice sequence, so replay is
+// exact).  At every quiescent leaf the caller's check runs.
+//
+// Exhaustiveness is exponential: use 2-4 node systems.  The limits struct
+// bounds the search; result.complete says whether every schedule was
+// covered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace asyncrd::sim {
+
+struct explore_limits {
+  std::uint64_t max_executions = 2'000'000;
+  std::size_t max_depth = 4'096;
+};
+
+struct explore_result {
+  std::uint64_t executions = 0;   ///< quiescent leaves checked
+  std::uint64_t steps = 0;        ///< total events dispatched across replays
+  bool complete = true;           ///< false iff a limit truncated the search
+  std::vector<std::string> violations;  ///< first few check failures
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+/// `reset` rebuilds the system under test and returns its network, already
+/// in manual mode with the initial wakes pending (the returned pointer is
+/// borrowed; the callback owns the system and must keep it alive until the
+/// next reset call).  `check` is called at each quiescent leaf and returns
+/// an empty string when the state is correct.
+explore_result explore_interleavings(
+    const std::function<network*()>& reset,
+    const std::function<std::string()>& check,
+    const explore_limits& limits = {});
+
+}  // namespace asyncrd::sim

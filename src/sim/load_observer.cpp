@@ -1,0 +1,28 @@
+#include "sim/load_observer.h"
+
+#include <set>
+
+namespace asyncrd::sim {
+
+node_id load_observer::hottest() const {
+  node_id best = invalid_node;
+  std::uint64_t best_load = 0;
+  std::set<node_id> nodes;
+  for (const auto& [v, c] : sent_) nodes.insert(v);
+  for (const auto& [v, c] : received_) nodes.insert(v);
+  for (const node_id v : nodes) {
+    const std::uint64_t l = load_of(v);
+    if (l > best_load) {
+      best_load = l;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::uint64_t load_observer::max_load() const {
+  const node_id h = hottest();
+  return h == invalid_node ? 0 : load_of(h);
+}
+
+}  // namespace asyncrd::sim

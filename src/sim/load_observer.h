@@ -1,0 +1,53 @@
+// Per-node traffic accounting: messages sent/received by each node.
+// Used for hotspot analysis (the discovery leader concentrates traffic;
+// how badly does the maximum per-node load grow with n?).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.h"
+#include "sim/network.h"
+
+namespace asyncrd::sim {
+
+class load_observer final : public observer {
+ public:
+  explicit load_observer(observer* chain = nullptr) : chain_(chain) {}
+
+  void on_send(sim_time t, node_id from, node_id to,
+               const message& m) override {
+    ++sent_[from];
+    if (chain_ != nullptr) chain_->on_send(t, from, to, m);
+  }
+  void on_deliver(sim_time t, node_id from, node_id to,
+                  const message& m) override {
+    ++received_[to];
+    if (chain_ != nullptr) chain_->on_deliver(t, from, to, m);
+  }
+  void on_wake(sim_time t, node_id v) override {
+    if (chain_ != nullptr) chain_->on_wake(t, v);
+  }
+
+  std::uint64_t sent_by(node_id v) const {
+    const auto it = sent_.find(v);
+    return it == sent_.end() ? 0 : it->second;
+  }
+  std::uint64_t received_by(node_id v) const {
+    const auto it = received_.find(v);
+    return it == received_.end() ? 0 : it->second;
+  }
+  std::uint64_t load_of(node_id v) const {
+    return sent_by(v) + received_by(v);
+  }
+
+  /// Node with the largest total load (invalid_node if no traffic).
+  node_id hottest() const;
+  std::uint64_t max_load() const;
+
+ private:
+  observer* chain_;
+  std::map<node_id, std::uint64_t> sent_, received_;
+};
+
+}  // namespace asyncrd::sim

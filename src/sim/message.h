@@ -1,0 +1,53 @@
+// Message base class for the asynchronous message-passing substrate.
+//
+// The paper measures algorithms by (a) total number of messages and (b)
+// total number of bits.  Ids cost O(log n) bits each; integer fields such as
+// phase counters or requested-count arguments are also O(log n) bits (phases
+// never exceed log n, counts never exceed n + 1).  Every concrete message
+// reports how many id-sized fields, integer fields, and flag bits it
+// carries; sim::stats converts that to a bit count using the actual
+// ceil(log2 n) of the network under test.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+namespace asyncrd::sim {
+
+/// Abstract message.  Concrete messages are immutable value objects created
+/// once and shared by pointer; the simulator never copies payloads.
+class message {
+ public:
+  virtual ~message() = default;
+
+  /// Stable name used for per-type accounting (e.g. "search", "release").
+  virtual std::string_view type_name() const noexcept = 0;
+
+  /// Number of node-id payload fields (each charged ceil(log2 n) bits).
+  virtual std::size_t id_fields() const noexcept = 0;
+
+  /// Number of integer payload fields (phase, count, ...), also O(log n).
+  virtual std::size_t int_fields() const noexcept { return 0; }
+
+  /// Number of constant-size flag bits (booleans, merge/abort tags, ...).
+  virtual std::size_t flag_bits() const noexcept { return 0; }
+
+  /// Total size in bits given the id width of the network under test.
+  /// header_bits models the constant-size message-type tag.
+  std::size_t bits(std::size_t id_bits) const noexcept {
+    return (id_fields() + int_fields()) * id_bits + flag_bits() + header_bits;
+  }
+
+  static constexpr std::size_t header_bits = 4;
+};
+
+using message_ptr = std::shared_ptr<const message>;
+
+/// Convenience factory: make_message<search_msg>(args...).
+template <typename M, typename... Args>
+message_ptr make_message(Args&&... args) {
+  return std::make_shared<const M>(std::forward<Args>(args)...);
+}
+
+}  // namespace asyncrd::sim

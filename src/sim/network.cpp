@@ -1,0 +1,218 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitmath.h"
+
+namespace asyncrd::sim {
+
+sim_time context::now() const noexcept { return net_->now(); }
+
+void context::send(node_id to, message_ptr m) {
+  net_->send_internal(self_, to, std::move(m));
+}
+
+void network::add_node(node_id id, std::unique_ptr<process> p) {
+  assert(p != nullptr);
+  const auto [it, inserted] = nodes_.emplace(id, node_slot{});
+  if (!inserted) throw std::invalid_argument("duplicate node id");
+  it->second.proc = std::move(p);
+}
+
+std::vector<node_id> network::node_ids() const {
+  std::vector<node_id> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, slot] : nodes_) out.push_back(id);
+  return out;
+}
+
+process* network::find(node_id id) {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.proc.get();
+}
+
+const process* network::find(node_id id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.proc.get();
+}
+
+bool network::is_awake(node_id id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.awake;
+}
+
+void network::wake(node_id id) {
+  if (!nodes_.contains(id)) throw std::invalid_argument("wake: unknown node");
+  if (manual_mode_) {
+    if (!nodes_.at(id).awake) pending_wakes_.insert(id);
+    return;
+  }
+  push_event(now_ + 1, event_kind::wake, id, invalid_node);
+}
+
+void network::set_manual_mode() {
+  if (!events_.empty() || !channels_empty())
+    throw std::logic_error("set_manual_mode after traffic");
+  manual_mode_ = true;
+}
+
+std::vector<network::manual_step> network::manual_options() const {
+  std::vector<manual_step> out;
+  for (const node_id v : pending_wakes_)
+    out.push_back({true, v, invalid_node});
+  for (const auto& [key, ch] : channels_)
+    if (!ch.queue.empty()) out.push_back({false, key.first, key.second});
+  return out;  // map/set iteration: already deterministically ordered
+}
+
+void network::take_step(const manual_step& s) {
+  if (!manual_mode_) throw std::logic_error("take_step outside manual mode");
+  ++now_;
+  if (s.is_wake) {
+    if (pending_wakes_.erase(s.a) == 0)
+      throw std::invalid_argument("take_step: wake not pending");
+    ensure_awake(s.a);
+    return;
+  }
+  const auto it = channels_.find({s.a, s.b});
+  if (it == channels_.end() || it->second.queue.empty())
+    throw std::invalid_argument("take_step: channel empty");
+  message_ptr m = std::move(it->second.queue.front());
+  it->second.queue.pop_front();
+  if (it->second.unscheduled > 0) --it->second.unscheduled;
+  ensure_awake(s.b);
+  if (observer_ != nullptr) observer_->on_deliver(now_, s.a, s.b, *m);
+  context ctx(*this, s.b);
+  nodes_.at(s.b).proc->on_message(ctx, s.a, m);
+}
+
+void network::block_sender(node_id id) {
+  // Blocking must precede any traffic from the node: otherwise already
+  // scheduled deliveries would pop the held channel heads out from under
+  // the adversary.
+  for (const auto& [key, ch] : channels_) {
+    if (key.first == id && !ch.queue.empty())
+      throw std::logic_error("block_sender after traffic from node");
+  }
+  blocked_senders_.insert(id);
+}
+
+void network::unblock_sender(node_id id) {
+  blocked_senders_.erase(id);
+  for (auto& [key, ch] : channels_) {
+    if (key.first != id) continue;
+    while (ch.unscheduled > 0) {
+      --ch.unscheduled;
+      push_event(now_ + sched_->delay(key.first, key.second, *ch.queue.front()),
+                 event_kind::deliver, key.first, key.second);
+    }
+  }
+}
+
+void network::send_internal(node_id from, node_id to, message_ptr m) {
+  assert(m != nullptr);
+  if (!nodes_.contains(to)) throw std::invalid_argument("send: unknown destination");
+  stats_.record(*m);
+  if (observer_ != nullptr) observer_->on_send(now_, from, to, *m);
+
+  auto& ch = channels_[{from, to}];
+  if (manual_mode_ || blocked_senders_.contains(from)) {
+    ch.queue.push_back(std::move(m));
+    ++ch.unscheduled;
+    return;
+  }
+  const sim_time d = sched_->delay(from, to, *m);
+  ch.queue.push_back(std::move(m));
+  push_event(now_ + (d == 0 ? 1 : d), event_kind::deliver, from, to);
+}
+
+void network::ensure_awake(node_id id) {
+  auto& slot = nodes_.at(id);
+  if (slot.awake) return;
+  slot.awake = true;
+  if (observer_ != nullptr) observer_->on_wake(now_, id);
+  context ctx(*this, id);
+  slot.proc->on_wake(ctx);
+}
+
+void network::dispatch(const event& ev) {
+  now_ = ev.at;
+  switch (ev.kind) {
+    case event_kind::wake: {
+      ensure_awake(ev.a);
+      break;
+    }
+    case event_kind::deliver: {
+      auto& ch = channels_.at({ev.a, ev.b});
+      assert(!ch.queue.empty());
+      // FIFO: a delivery event always releases the channel head, regardless
+      // of which send created the event.
+      message_ptr m = std::move(ch.queue.front());
+      ch.queue.pop_front();
+      ensure_awake(ev.b);
+      if (observer_ != nullptr) observer_->on_deliver(now_, ev.a, ev.b, *m);
+      context ctx(*this, ev.b);
+      nodes_.at(ev.b).proc->on_message(ctx, ev.a, m);
+      break;
+    }
+  }
+}
+
+void network::push_event(sim_time at, event_kind kind, node_id a, node_id b) {
+  events_.push(event{at, seq_++, kind, a, b});
+}
+
+void network::finalize_id_bits() {
+  if (id_bits_fixed_) return;
+  id_bits_fixed_ = true;
+  if (stats_.id_bits() <= 1 && nodes_.size() > 2)
+    stats_.set_id_bits(ceil_log2(nodes_.size()));
+}
+
+run_result network::run_to_quiescence(std::uint64_t max_events) {
+  finalize_id_bits();
+  run_result r;
+  while (!events_.empty()) {
+    if (r.events_processed++ >= max_events) {
+      r.completed = false;
+      return r;
+    }
+    const event ev = events_.top();
+    events_.pop();
+    dispatch(ev);
+  }
+  return r;
+}
+
+run_result network::run(std::uint64_t max_events) {
+  finalize_id_bits();
+  run_result total;
+  int idle_iterations = 0;
+  for (;;) {
+    run_result r = run_to_quiescence(max_events - total.events_processed);
+    total.events_processed += r.events_processed;
+    if (!r.completed) {
+      total.completed = false;
+      return total;
+    }
+    // A correct quiescence hook that returns true must have injected work
+    // (a wake event or an unblocked channel); two consecutive no-progress
+    // iterations mean the hook is stuck and the run is aborted.
+    idle_iterations = (r.events_processed == 0) ? idle_iterations + 1 : 0;
+    if (idle_iterations > 2) {
+      total.completed = false;
+      return total;
+    }
+    if (!sched_->on_quiescence(*this)) break;
+  }
+  return total;
+}
+
+bool network::channels_empty() const {
+  for (const auto& [key, ch] : channels_)
+    if (!ch.queue.empty()) return false;
+  return true;
+}
+
+}  // namespace asyncrd::sim

@@ -1,0 +1,232 @@
+// The asynchronous message-passing network: event queue, FIFO channels,
+// wake-up control, sender blocking (for adversarial executions), accounting.
+//
+// Model fidelity (paper §1.2):
+//   * reliable: every sent message is eventually delivered;
+//   * asynchronous: delivery delays are arbitrary (scheduler-chosen);
+//   * FIFO per ordered pair (u, v): enforced structurally — each channel is
+//     a queue and a delivery event always releases the channel head;
+//   * no global start: nodes wake via explicit wake events, via adversary
+//     quiescence hooks, or implicitly upon first message delivery
+//     ("nodes ... may wake-up nearby neighbors").
+//
+// The knowledge-graph constraint (u may only message nodes whose id it
+// knows) is the *algorithms'* obligation; the network transports any
+// (from, to) pair and the checker audits knowledge-graph discipline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/message.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+
+namespace asyncrd::sim {
+
+class network;
+
+/// Handle a process uses to interact with the network from inside a handler.
+class context {
+ public:
+  context(network& net, node_id self) noexcept : net_(&net), self_(self) {}
+
+  node_id self() const noexcept { return self_; }
+  sim_time now() const noexcept;
+
+  /// Send a message; it will be delivered after a scheduler-chosen delay,
+  /// in FIFO order relative to other messages on the same (self, to) pair.
+  void send(node_id to, message_ptr m);
+
+ private:
+  network* net_;
+  node_id self_;
+};
+
+/// A protocol endpoint.  One instance per node; driven by the event loop.
+class process {
+ public:
+  virtual ~process() = default;
+
+  /// Called exactly once, before the first message is delivered to this
+  /// node (whether the wake was scheduled explicitly or induced by a
+  /// message arrival).
+  virtual void on_wake(context& ctx) = 0;
+
+  /// Called for each delivered message, after on_wake.  The shared pointer
+  /// lets protocols park messages for later (selective receive) without
+  /// copying payloads.
+  virtual void on_message(context& ctx, node_id from, const message_ptr& m) = 0;
+};
+
+/// Passive observer of network events (used by the trace recorder and by
+/// invariant checkers that must run at every step, e.g. Lemma 5.1).
+class observer {
+ public:
+  virtual ~observer() = default;
+  virtual void on_send(sim_time, node_id /*from*/, node_id /*to*/, const message&) {}
+  virtual void on_deliver(sim_time, node_id /*from*/, node_id /*to*/, const message&) {}
+  virtual void on_wake(sim_time, node_id) {}
+};
+
+/// Result of network::run.
+struct run_result {
+  std::uint64_t events_processed = 0;
+  /// False iff the event cap was hit (indicates a bug / livelock).
+  bool completed = true;
+};
+
+class network {
+ public:
+  explicit network(scheduler& sched) : sched_(&sched) {}
+
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
+
+  // --- topology / membership -------------------------------------------
+
+  /// Registers a node.  May be called before run() or during it (dynamic
+  /// node additions, §6); a node added mid-run still needs wake().
+  void add_node(node_id id, std::unique_ptr<process> p);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::vector<node_id> node_ids() const;
+  bool has_node(node_id id) const { return nodes_.contains(id); }
+
+  /// Access to the process object (checkers downcast to the concrete type).
+  process* find(node_id id);
+  const process* find(node_id id) const;
+
+  bool is_awake(node_id id) const;
+
+  /// Fixes the id width used for bit accounting.  Called automatically on
+  /// first run() from the current node count; call explicitly when nodes
+  /// will be added dynamically and the final size is larger.
+  void set_id_bits(std::size_t bits) { stats_.set_id_bits(bits); }
+
+  // --- scheduling control ----------------------------------------------
+
+  /// Schedules a wake event for the node at now + 1.
+  void wake(node_id id);
+
+  /// Adversary control: messages sent by `id` are queued but no delivery is
+  /// scheduled until unblock_sender(id).  Must be invoked before `id` sends
+  /// anything (Theorem 1 stalls senders from the very start).
+  void block_sender(node_id id);
+
+  /// Releases everything `id` has queued and lets future sends through.
+  void unblock_sender(node_id id);
+
+  bool is_blocked(node_id id) const { return blocked_senders_.contains(id); }
+
+  // --- execution ---------------------------------------------------------
+
+  /// Runs until the event queue drains and scheduler::on_quiescence
+  /// declines to inject more work.  max_events guards against livelock.
+  run_result run(std::uint64_t max_events = default_event_cap);
+
+  /// Process events until the queue is empty once (no quiescence hook).
+  /// Used by drivers that interleave their own actions with execution.
+  run_result run_to_quiescence(std::uint64_t max_events = default_event_cap);
+
+  // --- manual stepping (exhaustive interleaving exploration) --------------
+  //
+  // In manual mode nothing is scheduled: sends park in their FIFO channels
+  // and wakes park in a pending set; an external driver enumerates the
+  // currently ready steps and picks which fires next.  This exposes every
+  // delivery/wake interleaving the asynchronous model admits (FIFO per
+  // channel is still structural: only channel heads are offered).
+  // See sim/explore.h for the exhaustive driver.
+
+  struct manual_step {
+    bool is_wake;
+    node_id a;  // the woken node / channel source
+    node_id b;  // channel destination (deliver only)
+    bool operator<(const manual_step& o) const noexcept {
+      return std::tie(is_wake, a, b) < std::tie(o.is_wake, o.a, o.b);
+    }
+    bool operator==(const manual_step& o) const noexcept {
+      return is_wake == o.is_wake && a == o.a && b == o.b;
+    }
+  };
+
+  /// Enables manual mode.  Must be called before any traffic or wakes.
+  void set_manual_mode();
+
+  /// Ready steps, deterministically ordered (pending wakes first, then
+  /// channel heads by (from, to)).
+  std::vector<manual_step> manual_options() const;
+
+  /// Fires one ready step (must be an element of manual_options()).
+  void take_step(const manual_step& s);
+
+  sim_time now() const noexcept { return now_; }
+  stats& statistics() noexcept { return stats_; }
+  const stats& statistics() const noexcept { return stats_; }
+
+  void set_observer(observer* obs) noexcept { observer_ = obs; }
+
+  /// True iff no undelivered messages exist anywhere (including held ones).
+  bool channels_empty() const;
+
+  static constexpr std::uint64_t default_event_cap = 500'000'000;
+
+ private:
+  friend class context;
+
+  struct channel {
+    std::deque<message_ptr> queue;
+    /// Tail messages with no delivery event yet (sender was blocked).
+    std::size_t unscheduled = 0;
+  };
+
+  enum class event_kind : std::uint8_t { wake, deliver };
+
+  struct event {
+    sim_time at;
+    std::uint64_t seq;
+    event_kind kind;
+    node_id a;  // wake target / channel source
+    node_id b;  // channel destination (deliver only)
+  };
+
+  struct event_after {
+    bool operator()(const event& x, const event& y) const noexcept {
+      if (x.at != y.at) return x.at > y.at;
+      return x.seq > y.seq;
+    }
+  };
+
+  struct node_slot {
+    std::unique_ptr<process> proc;
+    bool awake = false;
+  };
+
+  void send_internal(node_id from, node_id to, message_ptr m);
+  void ensure_awake(node_id id);
+  void dispatch(const event& ev);
+  void push_event(sim_time at, event_kind kind, node_id a, node_id b);
+  void finalize_id_bits();
+
+  scheduler* sched_;
+  std::map<node_id, node_slot> nodes_;
+  std::map<std::pair<node_id, node_id>, channel> channels_;
+  std::set<node_id> blocked_senders_;
+  std::priority_queue<event, std::vector<event>, event_after> events_;
+  stats stats_;
+  observer* observer_ = nullptr;
+  sim_time now_ = 0;
+  std::uint64_t seq_ = 0;
+  bool id_bits_fixed_ = false;
+  bool manual_mode_ = false;
+  std::set<node_id> pending_wakes_;
+};
+
+}  // namespace asyncrd::sim

@@ -1,0 +1,34 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asyncrd::sim {
+
+random_delay_scheduler::random_delay_scheduler(std::uint64_t seed,
+                                               sim_time min_delay,
+                                               sim_time max_delay)
+    : rng_(seed),
+      min_delay_(std::max<sim_time>(1, min_delay)),
+      max_delay_(std::max(max_delay, min_delay_)) {}
+
+sim_time random_delay_scheduler::delay(node_id, node_id, const message&) {
+  return rng_.between(min_delay_, max_delay_);
+}
+
+heavy_tail_delay_scheduler::heavy_tail_delay_scheduler(std::uint64_t seed,
+                                                       double tail_alpha,
+                                                       sim_time cap)
+    : rng_(seed),
+      tail_alpha_(std::max(0.1, tail_alpha)),
+      cap_(std::max<sim_time>(2, cap)) {}
+
+sim_time heavy_tail_delay_scheduler::delay(node_id, node_id, const message&) {
+  // Inverse-transform sampling of a Pareto tail: d = 1 / U^(1/alpha).
+  const double u = std::max(rng_.unit(), 1e-12);
+  const double d = std::pow(1.0 / u, 1.0 / tail_alpha_);
+  const double capped = std::min(d, static_cast<double>(cap_));
+  return std::max<sim_time>(1, static_cast<sim_time>(capped));
+}
+
+}  // namespace asyncrd::sim

@@ -1,0 +1,77 @@
+// Delivery scheduling — where the asynchronous adversary lives.
+//
+// The paper's model: "messages sent will eventually arrive after a finite
+// but unbounded time" with FIFO per ordered node pair.  The network enforces
+// FIFO structurally (per-channel queues; a delivery event always releases
+// the channel head), so a scheduler only chooses *when* the next delivery on
+// a channel fires.  Adversaries additionally (a) hold whole senders until
+// quiescence (Theorem 1's stalling adversary) and (b) inject wake-ups at
+// quiescence points (Lemma 3.1's sequential wake-up).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/message.h"
+
+namespace asyncrd::sim {
+
+class network;
+
+/// Simulated time.  Unitless; only relative order matters.
+using sim_time = std::uint64_t;
+
+/// Chooses per-message delivery delays and reacts to quiescence.
+class scheduler {
+ public:
+  virtual ~scheduler() = default;
+
+  /// Delay (>= 1) applied to the delivery event created for this send.
+  virtual sim_time delay(node_id from, node_id to, const message& m) = 0;
+
+  /// Called when the event queue drains.  May wake nodes or unblock held
+  /// senders via the network reference.  Return true iff anything was
+  /// injected (the run loop continues); false ends the run.
+  virtual bool on_quiescence(network&) { return false; }
+};
+
+/// Every message takes exactly one time unit.  With the deterministic
+/// seq-number tie-break this yields a canonical, repeatable execution.
+class unit_delay_scheduler final : public scheduler {
+ public:
+  sim_time delay(node_id, node_id, const message&) override { return 1; }
+};
+
+/// Uniform random delays in [min_delay, max_delay] — the workhorse for
+/// property sweeps: different seeds exercise different interleavings.
+class random_delay_scheduler final : public scheduler {
+ public:
+  explicit random_delay_scheduler(std::uint64_t seed, sim_time min_delay = 1,
+                                  sim_time max_delay = 64);
+  sim_time delay(node_id, node_id, const message&) override;
+
+ private:
+  rng rng_;
+  sim_time min_delay_;
+  sim_time max_delay_;
+};
+
+/// Heavy-tailed delays (discrete Pareto-like: ~1/d^alpha tail, capped) —
+/// closer to Internet latency than uniform jitter: most messages are fast,
+/// a few straggle by orders of magnitude.  The model only requires finite
+/// delays, so every correctness property must survive these schedules too.
+class heavy_tail_delay_scheduler final : public scheduler {
+ public:
+  explicit heavy_tail_delay_scheduler(std::uint64_t seed,
+                                      double tail_alpha = 1.3,
+                                      sim_time cap = 100'000);
+  sim_time delay(node_id, node_id, const message&) override;
+
+ private:
+  rng rng_;
+  double tail_alpha_;
+  sim_time cap_;
+};
+
+}  // namespace asyncrd::sim

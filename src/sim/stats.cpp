@@ -1,0 +1,39 @@
+#include "sim/stats.h"
+
+namespace asyncrd::sim {
+
+void stats::record(const message& m) {
+  auto it = by_type_.find(m.type_name());
+  if (it == by_type_.end())
+    it = by_type_.emplace(std::string(m.type_name()), type_stats{}).first;
+  const std::size_t b = m.bits(id_bits_);
+  it->second.count += 1;
+  it->second.bits += b;
+  total_count_ += 1;
+  total_bits_ += b;
+}
+
+std::uint64_t stats::messages_of(std::string_view type) const {
+  const auto it = by_type_.find(type);
+  return it == by_type_.end() ? 0 : it->second.count;
+}
+
+std::uint64_t stats::bits_of(std::string_view type) const {
+  const auto it = by_type_.find(type);
+  return it == by_type_.end() ? 0 : it->second.bits;
+}
+
+std::uint64_t stats::messages_of_any(
+    std::initializer_list<std::string_view> types) const {
+  std::uint64_t sum = 0;
+  for (const auto t : types) sum += messages_of(t);
+  return sum;
+}
+
+void stats::reset() {
+  by_type_.clear();
+  total_count_ = 0;
+  total_bits_ = 0;
+}
+
+}  // namespace asyncrd::sim

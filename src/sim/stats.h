@@ -1,0 +1,57 @@
+// Message and bit accounting, broken down by message type.
+//
+// This is the measurement apparatus behind every benchmark: Theorems 5-7 and
+// Lemmas 5.5-5.10 all bound either a per-type message count or a per-type
+// bit count, and the checker/benches read those bounds off this object.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/message.h"
+
+namespace asyncrd::sim {
+
+/// Counters for one message type.
+struct type_stats {
+  std::uint64_t count = 0;
+  std::uint64_t bits = 0;
+};
+
+/// Per-run accounting.  Owned by the network; counts at send time (the paper
+/// counts messages *sent*).
+class stats {
+ public:
+  /// id_bits = ceil(log2 n) of the network under test; must be set before
+  /// the first message is recorded (network::finalize does this).
+  void set_id_bits(std::size_t id_bits) noexcept { id_bits_ = id_bits; }
+  std::size_t id_bits() const noexcept { return id_bits_; }
+
+  void record(const message& m);
+
+  std::uint64_t total_messages() const noexcept { return total_count_; }
+  std::uint64_t total_bits() const noexcept { return total_bits_; }
+
+  /// Count/bits for one type; zero if the type never appeared.
+  std::uint64_t messages_of(std::string_view type) const;
+  std::uint64_t bits_of(std::string_view type) const;
+
+  /// Sum of counts over several types (e.g. "search" + "release").
+  std::uint64_t messages_of_any(std::initializer_list<std::string_view> types) const;
+
+  const std::map<std::string, type_stats, std::less<>>& by_type() const noexcept {
+    return by_type_;
+  }
+
+  void reset();
+
+ private:
+  std::map<std::string, type_stats, std::less<>> by_type_;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_bits_ = 0;
+  std::size_t id_bits_ = 1;
+};
+
+}  // namespace asyncrd::sim

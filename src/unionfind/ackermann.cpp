@@ -1,0 +1,57 @@
+#include "unionfind/ackermann.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace asyncrd::uf {
+
+namespace {
+
+std::uint64_t ack_rec(std::uint64_t m, std::uint64_t n,
+                      std::map<std::pair<std::uint64_t, std::uint64_t>,
+                               std::uint64_t>& memo) {
+  if (m == 0) return n >= ackermann_cap - 1 ? ackermann_cap : n + 1;
+  // Closed forms for the first rows keep the recursion shallow.
+  if (m == 1) return n >= ackermann_cap - 2 ? ackermann_cap : n + 2;
+  if (m == 2) return n >= (ackermann_cap - 3) / 2 ? ackermann_cap : 2 * n + 3;
+  if (m == 3) {
+    // A(3, n) = 2^(n+3) - 3.
+    if (n + 3 >= 62) return ackermann_cap;
+    return (std::uint64_t{1} << (n + 3)) - 3;
+  }
+  const auto key = std::make_pair(m, n);
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  std::uint64_t result;
+  if (n == 0) {
+    result = ack_rec(m - 1, 1, memo);
+  } else {
+    const std::uint64_t inner = ack_rec(m, n - 1, memo);
+    result = inner >= ackermann_cap ? ackermann_cap
+                                    : ack_rec(m - 1, inner, memo);
+  }
+  memo[key] = result;
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t ackermann(std::uint64_t m, std::uint64_t n) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> memo;
+  return ack_rec(m, n, memo);
+}
+
+unsigned inverse_ackermann(std::uint64_t m, std::uint64_t n) {
+  assert(n >= 1);
+  const double log_n = n <= 1 ? 0.0 : std::log2(static_cast<double>(n));
+  const std::uint64_t q = m / n;
+  for (unsigned i = 1;; ++i) {
+    const std::uint64_t a = ackermann(i, q);
+    if (static_cast<double>(a) > log_n) return i;
+    // alpha is <= 4 for any log n < A(4, 0) = A(3, 1) = 13; the loop always
+    // terminates quickly because A(i, q) reaches the cap within a few rows.
+    assert(i < 64);
+  }
+}
+
+}  // namespace asyncrd::uf

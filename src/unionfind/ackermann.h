@@ -1,0 +1,29 @@
+// Ackermann's function and its inverse, exactly as defined in the paper's
+// footnote 1:
+//
+//   A(0, n) = n + 1
+//   A(m, 0) = A(m-1, 1)                        (m > 0)
+//   A(m, n) = A(m-1, A(m, n-1))                (m, n > 0)
+//
+//   alpha(m, n) = min{ i >= 1 : A(i, floor(m/n)) > log n }
+//
+// A grows so fast that values are saturated at a cap; the inverse only ever
+// needs comparisons against log n <= 64.
+#pragma once
+
+#include <cstdint>
+
+namespace asyncrd::uf {
+
+/// Saturation value: any Ackermann value >= this is reported as exactly this.
+inline constexpr std::uint64_t ackermann_cap = std::uint64_t{1} << 62;
+
+/// Saturating A(m, n).
+std::uint64_t ackermann(std::uint64_t m, std::uint64_t n);
+
+/// The paper's alpha(m, n).  Requires n >= 1; m may be any value (the
+/// quotient floor(m/n) is what matters).  Result is tiny: <= 4 for every
+/// physically realizable input.
+unsigned inverse_ackermann(std::uint64_t m, std::uint64_t n);
+
+}  // namespace asyncrd::uf

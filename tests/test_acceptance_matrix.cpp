@@ -1,0 +1,147 @@
+// Pins the engine's selective-receive policy: which message types each
+// node status consumes immediately versus defers.  This matrix IS the
+// translation of the paper's blocking "wait for message" loops; changing
+// a cell changes the protocol, so any edit must be deliberate.
+//
+// Driven through the public API: we park a node in each status via small
+// crafted executions, deliver one message of each type, and observe
+// whether it was consumed (state/effect changed or reply sent) or parked
+// in the deferred queue.
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+using core::status_t;
+
+/// Builds a settled 3-node adhoc run: leader 2, inactives 0 and 1.
+struct settled {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  std::unique_ptr<core::discovery_run> run;
+
+  explicit settled(core::variant v = core::variant::adhoc) {
+    graph::digraph g;
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    cfg.algo = v;
+    run = std::make_unique<core::discovery_run>(g, cfg, sched);
+    run->wake_all();
+    run->run();
+  }
+};
+
+TEST(AcceptanceMatrix, InactiveConsumesQueries) {
+  settled s;
+  const node_id leader = s.run->leaders().front();
+  const node_id member = leader == 0 ? 1 : 0;
+  ASSERT_EQ(s.run->at(member).status(), status_t::inactive);
+  // A query from the harness (impersonating the leader) must be answered
+  // immediately, not deferred.
+  sim::context ctx(s.run->net(), leader);
+  ctx.send(member, sim::make_message<core::query_msg>(3));
+  s.run->net().run_to_quiescence();
+  EXPECT_FALSE(s.run->at(member).has_deferred());
+  EXPECT_GT(s.run->statistics().messages_of("query_reply"), 0u);
+}
+
+TEST(AcceptanceMatrix, InactiveRoutesSearchImmediately) {
+  settled s;
+  const node_id leader = s.run->leaders().front();
+  // Pick two distinct inactive members: `sender` initiates a (stale, lower
+  // key) search targeted at `member`; the member must forward it along its
+  // next pointer right away (queue head goes straight out), and the
+  // leader's abort must come back and unwind the queue completely.
+  node_id member = invalid_node, sender = invalid_node;
+  for (const node_id v : s.run->ids())
+    if (v != leader) (member == invalid_node ? member : sender) = v;
+  ASSERT_NE(sender, invalid_node);
+  const auto before = s.run->statistics().messages_of("search");
+  sim::context ctx(s.run->net(), sender);
+  ctx.send(member,
+           sim::make_message<core::search_msg>(sender, 1, member, false));
+  s.run->net().run_to_quiescence();
+  EXPECT_GT(s.run->statistics().messages_of("search"), before);
+  EXPECT_EQ(s.run->at(member).pending_queue_depth(), 0u);
+  EXPECT_FALSE(s.run->at(member).has_deferred());
+}
+
+TEST(AcceptanceMatrix, LeaderInWaitAnswersSearch) {
+  settled s;
+  const node_id leader = s.run->leaders().front();
+  ASSERT_EQ(s.run->at(leader).status(), status_t::wait);
+  const auto before = s.run->statistics().messages_of("release");
+  sim::context ctx(s.run->net(), leader == 2 ? 0 : 2);
+  // A search from a lower key must be aborted via a release.
+  ctx.send(leader, sim::make_message<core::search_msg>(
+                       0, 1, leader, false));
+  s.run->net().run_to_quiescence();
+  EXPECT_GT(s.run->statistics().messages_of("release"), before);
+  EXPECT_TRUE(s.run->at(leader).is_leader());  // lower key cannot conquer
+}
+
+TEST(AcceptanceMatrix, LeaderInWaitDefersNothingAtQuiescence) {
+  settled s;
+  for (const node_id v : s.run->ids())
+    EXPECT_FALSE(s.run->at(v).has_deferred()) << "node " << v;
+}
+
+TEST(AcceptanceMatrix, TerminatedLeaderAnswersStragglerSearch) {
+  settled s(core::variant::bounded);
+  const node_id leader = s.run->leaders().front();
+  ASSERT_EQ(s.run->at(leader).status(), status_t::terminated);
+  const auto before = s.run->statistics().messages_of("release");
+  sim::context ctx(s.run->net(), leader == 2 ? 0 : 2);
+  ctx.send(leader,
+           sim::make_message<core::search_msg>(0, 1, leader, false));
+  s.run->net().run_to_quiescence();
+  EXPECT_GT(s.run->statistics().messages_of("release"), before);
+  EXPECT_EQ(s.run->at(leader).status(), status_t::terminated);
+  EXPECT_FALSE(s.run->at(leader).has_deferred());
+}
+
+TEST(AcceptanceMatrix, TerminatedLeaderAcksReports) {
+  settled s(core::variant::bounded);
+  const node_id leader = s.run->leaders().front();
+  const node_id member = leader == 0 ? 1 : 0;
+  const auto before = s.run->statistics().messages_of("report_ack");
+  sim::context ctx(s.run->net(), member);
+  ctx.send(leader, sim::make_message<core::report_msg>(member));
+  s.run->net().run_to_quiescence();
+  EXPECT_GT(s.run->statistics().messages_of("report_ack"), before);
+  // The terminated census must be untouched (done == component).
+  EXPECT_EQ(s.run->at(leader).done().size(), 3u);
+}
+
+TEST(AcceptanceMatrix, LeaderAnswersProbeInWait) {
+  settled s;
+  const node_id leader = s.run->leaders().front();
+  const node_id member = leader == 0 ? 1 : 0;
+  sim::context ctx(s.run->net(), member);
+  ctx.send(leader, sim::make_message<core::probe_msg>(member));
+  s.run->net().run_to_quiescence();
+  ASSERT_TRUE(s.run->at(member).last_census().has_value());
+  EXPECT_EQ(s.run->at(member).last_census()->leader, leader);
+}
+
+TEST(AcceptanceMatrix, MemberReplyIgnoredWhenStale) {
+  // A stray more/done reply must not corrupt a settled leader.
+  settled s(core::variant::generic);
+  const node_id leader = s.run->leaders().front();
+  const node_id member = leader == 0 ? 1 : 0;
+  const auto done_before = s.run->at(leader).done().size();
+  sim::context ctx(s.run->net(), member);
+  ctx.send(leader, sim::make_message<core::member_reply_msg>(true));
+  s.run->net().run_to_quiescence();
+  // Generic leader sits in WAIT: the reply is deferred (harmless) or
+  // ignored — either way its sets must be unchanged.
+  EXPECT_EQ(s.run->at(leader).done().size(), done_before);
+  EXPECT_TRUE(s.run->at(leader).more().empty());
+}
+
+}  // namespace
+}  // namespace asyncrd

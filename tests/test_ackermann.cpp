@@ -1,0 +1,91 @@
+// Ackermann's function and the paper's inverse-Ackermann definition
+// (footnote 1): alpha(m, n) = min{ i >= 1 : A(i, floor(m/n)) > log n }.
+#include <gtest/gtest.h>
+
+#include "unionfind/ackermann.h"
+
+namespace asyncrd {
+namespace {
+
+using uf::ackermann;
+using uf::ackermann_cap;
+using uf::inverse_ackermann;
+
+TEST(Ackermann, RowZeroIsSuccessor) {
+  for (std::uint64_t n = 0; n < 100; ++n) EXPECT_EQ(ackermann(0, n), n + 1);
+}
+
+TEST(Ackermann, RowOneClosedForm) {
+  for (std::uint64_t n = 0; n < 100; ++n) EXPECT_EQ(ackermann(1, n), n + 2);
+}
+
+TEST(Ackermann, RowTwoClosedForm) {
+  for (std::uint64_t n = 0; n < 100; ++n) EXPECT_EQ(ackermann(2, n), 2 * n + 3);
+}
+
+TEST(Ackermann, RowThreeClosedForm) {
+  // A(3, n) = 2^(n+3) - 3.
+  EXPECT_EQ(ackermann(3, 0), 5u);
+  EXPECT_EQ(ackermann(3, 1), 13u);
+  EXPECT_EQ(ackermann(3, 2), 29u);
+  EXPECT_EQ(ackermann(3, 3), 61u);
+  EXPECT_EQ(ackermann(3, 10), (std::uint64_t{1} << 13) - 3);
+}
+
+TEST(Ackermann, RecurrenceBoundaryCases) {
+  // A(m, 0) = A(m-1, 1).
+  EXPECT_EQ(ackermann(4, 0), ackermann(3, 1));
+  EXPECT_EQ(ackermann(2, 0), ackermann(1, 1));
+}
+
+TEST(Ackermann, RowFourExplodes) {
+  // A(4, 1) = A(3, 13) = 2^16 - 3.
+  EXPECT_EQ(ackermann(4, 1), 65533u);
+  // A(4, 2) is a tower of ~2^65536: saturated.
+  EXPECT_EQ(ackermann(4, 2), ackermann_cap);
+  EXPECT_EQ(ackermann(5, 5), ackermann_cap);
+}
+
+TEST(InverseAckermann, PaperDefinitionSmallN) {
+  // alpha(n, n): quotient 1.  A(1,1)=3, A(2,1)=5, A(3,1)=13.
+  // log2(4) = 2 < 3           -> alpha = 1
+  EXPECT_EQ(inverse_ackermann(4, 4), 1u);
+  EXPECT_EQ(inverse_ackermann(7, 7), 1u);
+  // log2(16) = 4: A(1,1)=3 <= 4, A(2,1)=5 > 4 -> alpha = 2
+  EXPECT_EQ(inverse_ackermann(16, 16), 2u);
+  EXPECT_EQ(inverse_ackermann(31, 31), 2u);
+  // log2(64) = 6: A(2,1)=5 <= 6, A(3,1)=13 > 6 -> alpha = 3
+  EXPECT_EQ(inverse_ackermann(64, 64), 3u);
+  EXPECT_EQ(inverse_ackermann(4096, 4096), 3u);
+  // A(3,1)=13 covers log n < 13, i.e. n < 8192 -> alpha stays 3
+  EXPECT_EQ(inverse_ackermann(8191, 8191), 3u);
+  // beyond: alpha = 4 (A(4,1)=65533 > any feasible log n)
+  EXPECT_EQ(inverse_ackermann(8192, 8192), 4u);
+  EXPECT_EQ(inverse_ackermann(std::uint64_t{1} << 40, std::uint64_t{1} << 40),
+            4u);
+}
+
+TEST(InverseAckermann, LargerQuotientNeverIncreasesAlpha) {
+  for (std::uint64_t n : {8u, 64u, 1024u, 65536u}) {
+    const unsigned base = inverse_ackermann(n, n);
+    EXPECT_LE(inverse_ackermann(4 * n, n), base);
+    EXPECT_LE(inverse_ackermann(16 * n, n), base);
+  }
+}
+
+TEST(InverseAckermann, MonotoneInN) {
+  unsigned prev = 1;
+  for (std::uint64_t n = 2; n <= (std::uint64_t{1} << 20); n *= 2) {
+    const unsigned a = inverse_ackermann(n, n);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(InverseAckermann, TinyUniverse) {
+  EXPECT_EQ(inverse_ackermann(1, 1), 1u);
+  EXPECT_EQ(inverse_ackermann(0, 1), 1u);
+}
+
+}  // namespace
+}  // namespace asyncrd

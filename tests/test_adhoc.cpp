@@ -1,0 +1,203 @@
+// The Ad-hoc variant (§4.5.2): no conquer broadcasts; non-leaders reach the
+// leader through next-pointer paths (properties 3a/3b); census probes with
+// path compression.
+#include <gtest/gtest.h>
+
+#include "core/adversary.h"
+#include "graph/topology.h"
+#include "test_util.h"
+
+namespace asyncrd {
+namespace {
+
+using core::variant;
+using testing::run_instrumented;
+
+TEST(Adhoc, NeverSendsConquerMessages) {
+  const auto g = graph::random_weakly_connected(60, 80, 2);
+  sim::random_delay_scheduler sched(8);
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  EXPECT_EQ(run.statistics().messages_of("conquer"), 0u);
+  EXPECT_EQ(run.statistics().messages_of("more_done"), 0u);
+}
+
+TEST(Adhoc, PointerPathsReachTheLeader) {
+  const auto g = graph::random_weakly_connected(45, 60, 5);
+  const auto r = run_instrumented(g, variant::adhoc, 9);
+  EXPECT_EQ(r.summary.leaders.size(), 1u);
+}
+
+TEST(Adhoc, ProbeReturnsFullCensusAtQuiescence) {
+  const auto g = graph::random_weakly_connected(30, 40, 7);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const node_id leader = run.leaders().front();
+
+  const auto expected = g.weak_components().front();
+  for (const node_id v : run.ids()) {
+    run.probe(v);
+    run.net().run_to_quiescence();
+    const auto& census = run.at(v).last_census();
+    ASSERT_TRUE(census.has_value()) << "node " << v;
+    EXPECT_EQ(census->leader, leader) << "node " << v;
+    EXPECT_EQ(census->ids, expected) << "node " << v;
+  }
+}
+
+TEST(Adhoc, PathCompressionCutsRoutingCost) {
+  // Sequential wake-ups 1..n on an in-star, with the phase (union-by-rank)
+  // mechanism ablated so each newcomer's higher id conquers the incumbent:
+  // this builds a conquest genealogy chain 0 -> 1 -> ... -> n-1.  Without
+  // compression every new search walks the whole chain (Theta(n^2) hops);
+  // with compression the total stays near-linear.  This is the distributed
+  // analogue of the DSU compression ablation.
+  const std::size_t n = 64;
+  const auto g = graph::star_in(n);
+  const auto run_with = [&](bool compress) {
+    core::sequential_wakeup_scheduler sched(g.nodes());
+    core::config cfg;
+    cfg.algo = variant::adhoc;
+    cfg.path_compression = compress;
+    cfg.use_phases = false;
+    core::discovery_run run(g, cfg, sched);
+    run.net().wake(0);
+    run.run();
+    const auto rep = core::check_final_state(run, g);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    return run.statistics().messages_of_any({"search", "release"});
+  };
+  const auto with_compression = run_with(true);
+  const auto without_compression = run_with(false);
+  EXPECT_LT(with_compression, without_compression / 2)
+      << "with=" << with_compression << " without=" << without_compression;
+}
+
+TEST(Adhoc, SecondProbeRoundNeverCostsMore) {
+  // Probe replies compress pointers, so a second full probe round can only
+  // be cheaper or equal.
+  const auto g = graph::random_weakly_connected(48, 48, 17);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  cfg.census_in_probe_reply = false;  // measure routing cost only
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+
+  const auto probes_cost = [&]() {
+    const auto before =
+        run.statistics().messages_of_any({"probe", "probe_reply"});
+    for (const node_id v : run.ids()) run.probe(v);
+    run.net().run_to_quiescence();
+    return run.statistics().messages_of_any({"probe", "probe_reply"}) - before;
+  };
+  const auto first = probes_cost();
+  const auto second = probes_cost();
+  EXPECT_LE(second, first);
+  // After one compressed round every node is at most one hop from the
+  // leader: one probe + one reply each (the leader's probe is free).
+  EXPECT_LE(second, 2u * 48u);
+}
+
+TEST(Adhoc, ProbeFromLeaderIsLocal) {
+  graph::digraph g;
+  g.add_edge(0, 1);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const node_id leader = run.leaders().front();
+  const auto before = run.statistics().total_messages();
+  run.probe(leader);
+  run.net().run_to_quiescence();
+  EXPECT_EQ(run.statistics().total_messages(), before);  // zero messages
+  ASSERT_TRUE(run.at(leader).last_census().has_value());
+  EXPECT_EQ(run.at(leader).last_census()->ids,
+            (std::vector<node_id>{0, 1}));
+}
+
+TEST(Adhoc, ProbeBeforeWakeYieldsSelfView) {
+  graph::digraph g;
+  g.add_node(3);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.probe(3);  // node still asleep: probe queues, wake is scheduled
+  run.run();
+  ASSERT_TRUE(run.at(3).last_census().has_value());
+  EXPECT_EQ(run.at(3).last_census()->leader, 3u);
+}
+
+TEST(Adhoc, AmortizedProbeCostStaysNearLinear) {
+  // "for any m requests to reach the leader, the total cost of leader
+  // election and reply messages to all the requests is O((m+n) a(m,n))".
+  const std::size_t n = 128;
+  const auto g = graph::random_weakly_connected(n, n, 13);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  cfg.census_in_probe_reply = false;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const std::size_t m = 4 * n;  // m probe requests round-robin
+  for (std::size_t i = 0; i < m; ++i) {
+    run.probe(static_cast<node_id>(i % n));
+    run.net().run_to_quiescence();
+  }
+  const auto total = run.statistics().total_messages();
+  // Generous audit constant for O((m+n) alpha).
+  EXPECT_LE(total, 12u * (m + n));
+}
+
+using sweep_param = std::tuple<std::size_t, std::uint64_t>;
+
+class AdhocSweep : public ::testing::TestWithParam<sweep_param> {};
+
+TEST_P(AdhocSweep, SafetyPointerPathsAndBounds) {
+  const auto [n, seed] = GetParam();
+  const auto g = graph::random_weakly_connected(n, 2 * n, seed * 17 + n);
+  run_instrumented(g, variant::adhoc, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdhocSweep,
+    ::testing::Combine(::testing::Values(6, 20, 75, 160),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const ::testing::TestParamInfo<sweep_param>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class AdhocTopologies : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdhocTopologies, StructuredGraphs) {
+  switch (GetParam()) {
+    case 0: run_instrumented(graph::directed_path(48), variant::adhoc, 1); break;
+    case 1: run_instrumented(graph::star_out(48), variant::adhoc, 2); break;
+    case 2: run_instrumented(graph::star_in(48), variant::adhoc, 3); break;
+    case 3:
+      run_instrumented(graph::directed_binary_tree(6), variant::adhoc, 4);
+      break;
+    case 4: run_instrumented(graph::clique(15), variant::adhoc, 5); break;
+    case 5:
+      run_instrumented(graph::multi_component(3, 12, 8, 6), variant::adhoc, 6);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AdhocTopologies, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,95 @@
+// The lower-bound adversaries: Theorem 1's stalling adversary on directed
+// binary trees and the sequential wake-up driver.
+#include <gtest/gtest.h>
+
+#include "common/bitmath.h"
+#include "core/adversary.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+/// Runs the Generic algorithm on T(levels) under the Theorem 1 adversary;
+/// returns total messages.
+std::uint64_t adversarial_tree_run(std::size_t levels, bool check = true) {
+  const auto g = graph::directed_binary_tree(levels);
+  core::staged_release_scheduler sched(
+      graph::binary_tree_internal_postorder(levels));
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  sched.arm(run.net());
+  run.wake_all();
+  const auto r = run.run();
+  EXPECT_TRUE(r.completed);
+  if (check) {
+    const auto rep = core::check_final_state(run, g);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+  }
+  return run.statistics().total_messages();
+}
+
+TEST(AdversaryTree, AllInternalNodesReleased) {
+  const std::size_t levels = 4;
+  const auto g = graph::directed_binary_tree(levels);
+  core::staged_release_scheduler sched(
+      graph::binary_tree_internal_postorder(levels));
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  sched.arm(run.net());
+  run.wake_all();
+  run.run();
+  EXPECT_EQ(sched.released(),
+            graph::binary_tree_internal_postorder(levels).size());
+  EXPECT_TRUE(run.net().channels_empty());
+}
+
+TEST(AdversaryTree, Theorem1LowerBoundHolds) {
+  // Theorem 1: on T(i) with n = 2^i - 1 the adversary forces at least
+  // i * 2^(i-1) - 2 >= 0.5 n log n - 2 messages.
+  for (std::size_t i = 2; i <= 9; ++i) {
+    const double bound =
+        static_cast<double>(i) * static_cast<double>(1ull << (i - 1)) - 2.0;
+    const auto measured = adversarial_tree_run(i);
+    EXPECT_GE(static_cast<double>(measured), bound) << "T(" << i << ")";
+  }
+}
+
+TEST(AdversaryTree, StillWithinUpperBound) {
+  // The adversary makes the algorithm pay, but Theorem 5's O(n log n)
+  // upper bound must still hold.
+  const std::size_t i = 9;
+  const std::size_t n = (1u << i) - 1;
+  const auto measured = adversarial_tree_run(i);
+  EXPECT_LE(static_cast<double>(measured),
+            8.0 * n_log_n(static_cast<double>(n)));
+}
+
+TEST(SequentialWakeup, DrivesAllNodesEventually) {
+  const auto g = graph::random_weakly_connected(15, 10, 2);
+  core::sequential_wakeup_scheduler sched(g.nodes());
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.net().wake(g.nodes().front());
+  run.run();
+  for (const node_id v : run.ids()) EXPECT_TRUE(run.net().is_awake(v));
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(SequentialWakeup, SkipsAlreadyAwakeNodes) {
+  // Message-induced wakes must not confuse the driver.
+  const auto g = graph::star_out(10);  // center wakes everyone via searches
+  core::sequential_wakeup_scheduler sched(g.nodes());
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.net().wake(0);
+  const auto r = run.run();
+  EXPECT_TRUE(r.completed);
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+}  // namespace
+}  // namespace asyncrd

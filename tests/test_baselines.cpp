@@ -1,0 +1,166 @@
+// Baseline algorithms: flooding, Name-Dropper, pointer-doubling, DFS
+// election — convergence, correctness, and expected cost shapes.
+#include <gtest/gtest.h>
+
+#include "baselines/absorption.h"
+#include "baselines/dfs_election.h"
+#include "baselines/flooding.h"
+#include "baselines/name_dropper.h"
+#include "baselines/pointer_doubling.h"
+#include "common/bitmath.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(Flooding, ConvergesOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = graph::random_weakly_connected(30, 40, seed);
+    const auto r = baselines::run_flooding(g, seed);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    EXPECT_GT(r.messages, 0u);
+  }
+}
+
+TEST(Flooding, HandlesMultiComponent) {
+  const auto g = graph::multi_component(3, 8, 4, 5);
+  const auto r = baselines::run_flooding(g, 2);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Flooding, SingletonNeedsNoMessages) {
+  graph::digraph g;
+  g.add_node(0);
+  const auto r = baselines::run_flooding(g, 1);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Flooding, CostGrowsSuperlinearlyOnDenseGraphs) {
+  const auto small = baselines::run_flooding(
+      graph::random_weakly_connected(32, 64, 3), 1);
+  const auto large = baselines::run_flooding(
+      graph::random_weakly_connected(128, 256, 3), 1);
+  // 4x nodes should cost clearly more than 4x messages (flooding is
+  // superlinear) — this is the contrast the paper's algorithms remove.
+  EXPECT_GT(large.messages, 6 * small.messages);
+}
+
+TEST(NameDropper, ConvergesWithinPolylogRounds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = graph::random_weakly_connected(64, 64, seed);
+    const auto r = baselines::run_name_dropper(g, seed);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    const double log_n = static_cast<double>(ceil_log2(64));
+    EXPECT_LE(static_cast<double>(r.rounds), 12.0 * log_n * log_n)
+        << "seed " << seed;
+  }
+}
+
+TEST(NameDropper, OneMessagePerNodePerRound) {
+  const auto g = graph::random_weakly_connected(40, 40, 7);
+  const auto r = baselines::run_name_dropper(g, 7);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.messages, r.rounds * 40);
+}
+
+TEST(NameDropper, RoundCapReportsNonConvergence) {
+  const auto g = graph::random_weakly_connected(64, 64, 1);
+  const auto r = baselines::run_name_dropper(g, 1, /*max_rounds=*/1);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Absorption, ConvergesWithinLogRounds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = graph::random_weakly_connected(128, 128, seed);
+    const auto r = baselines::run_absorption(g, seed);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    // O(log n) rounds w.h.p.; generous audit constant.
+    EXPECT_LE(r.rounds, 20u * ceil_log2(128)) << "seed " << seed;
+  }
+}
+
+TEST(Absorption, HandlesMultiComponent) {
+  const auto g = graph::multi_component(3, 12, 6, 9);
+  const auto r = baselines::run_absorption(g, 4);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Absorption, SingletonIsTrivial) {
+  graph::digraph g;
+  g.add_node(0);
+  const auto r = baselines::run_absorption(g, 1);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Absorption, MessageCountNearNLogN) {
+  const std::size_t n = 512;
+  const auto g = graph::random_weakly_connected(n, n, 3);
+  const auto r = baselines::run_absorption(g, 3);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(static_cast<double>(r.messages),
+            12.0 * n_log_n(static_cast<double>(n)));
+}
+
+TEST(PointerDoubling, ConvergesDeterministically) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = graph::random_weakly_connected(50, 70, seed);
+    const auto a = baselines::run_pointer_doubling(g);
+    const auto b = baselines::run_pointer_doubling(g);
+    EXPECT_TRUE(a.converged) << "seed " << seed;
+    EXPECT_EQ(a.messages, b.messages);  // deterministic
+    EXPECT_EQ(a.rounds, b.rounds);
+  }
+}
+
+TEST(PointerDoubling, RoundsTrackDiameterOnPaths) {
+  const auto short_path = baselines::run_pointer_doubling(graph::directed_path(8));
+  const auto long_path = baselines::run_pointer_doubling(graph::directed_path(64));
+  EXPECT_TRUE(short_path.converged);
+  EXPECT_TRUE(long_path.converged);
+  EXPECT_GT(long_path.rounds, short_path.rounds);
+}
+
+TEST(DfsElection, WorksOnStronglyConnectedGraphs) {
+  const auto ring = baselines::run_dfs_election(graph::ring(20));
+  EXPECT_TRUE(ring.converged);
+  const auto cl = baselines::run_dfs_election(graph::clique(10));
+  EXPECT_TRUE(cl.converged);
+}
+
+TEST(DfsElection, TokenCostBoundedByEdges) {
+  const auto g = graph::clique(12);
+  const auto r = baselines::run_dfs_election(g);
+  EXPECT_TRUE(r.converged);
+  // <= 2 messages per tree edge + notifications.
+  EXPECT_LE(r.messages, 2 * g.node_count() + g.node_count());
+}
+
+TEST(DfsElection, RejectsWeaklyConnectedInput) {
+  const auto r = baselines::run_dfs_election(graph::directed_path(6));
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Comparison, PaperAlgorithmBeatsFloodingOnMessages) {
+  // The §1.1 story: on dense weakly connected graphs the paper's algorithm
+  // sends O(n log n) messages while flooding pays per-edge-per-id.
+  const std::size_t n = 96;
+  const auto g = graph::random_weakly_connected(n, 8 * n, 11);
+  const auto ours = core::run_discovery(g, core::variant::generic, 1);
+  const auto flood = baselines::run_flooding(g, 1);
+  EXPECT_TRUE(flood.converged);
+  EXPECT_LT(ours.messages, flood.messages / 2);
+}
+
+TEST(Comparison, AdhocBeatsGenericOnMessages) {
+  const std::size_t n = 512;
+  const auto g = graph::random_weakly_connected(n, n, 13);
+  const auto generic = core::run_discovery(g, core::variant::generic, 1);
+  const auto adhoc = core::run_discovery(g, core::variant::adhoc, 1);
+  EXPECT_LT(adhoc.messages, generic.messages);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/bitmath.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(Bitmath, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(7), 2u);
+  EXPECT_EQ(floor_log2(8), 3u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(std::uint64_t{1} << 62), 62u);
+}
+
+TEST(Bitmath, CeilLog2SmallValuesAreOneBit) {
+  // An id field never costs zero bits.
+  EXPECT_EQ(ceil_log2(1), 1u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+}
+
+TEST(Bitmath, CeilLog2ExactPowers) {
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+}
+
+TEST(Bitmath, CeilLog2RoundsUp) {
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bitmath, CeilVsFloorRelation) {
+  for (std::uint64_t x = 3; x < 5000; ++x) {
+    const auto f = floor_log2(x);
+    const auto c = ceil_log2(x);
+    EXPECT_TRUE(c == f || c == f + 1) << x;
+    EXPECT_GE(std::uint64_t{1} << c, x) << x;
+  }
+}
+
+TEST(Bitmath, NLogN) {
+  EXPECT_DOUBLE_EQ(n_log_n(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(n_log_n(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(n_log_n(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(n_log_n(8.0), 24.0);
+  EXPECT_NEAR(n_log_n(1024.0), 10240.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,127 @@
+// The Bounded variant (§4.5.1): every node knows its component size; the
+// leader detects termination (Theorem 4) and the conquer/more-done traffic
+// drops from O(n log n) to O(n) (Lemma 5.8).
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "test_util.h"
+
+namespace asyncrd {
+namespace {
+
+using core::variant;
+using testing::run_instrumented;
+
+TEST(Bounded, LeaderTerminatesExplicitly) {
+  const auto g = graph::random_weakly_connected(25, 30, 4);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::bounded;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const auto leaders = run.leaders();
+  ASSERT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(run.at(leaders.front()).status(), core::status_t::terminated);
+}
+
+TEST(Bounded, SingletonTerminatesWithoutMessages) {
+  graph::digraph g;
+  g.add_node(5);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::bounded;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  EXPECT_EQ(run.at(5).status(), core::status_t::terminated);
+  EXPECT_EQ(run.statistics().total_messages(), 0u);
+}
+
+TEST(Bounded, ConquerTrafficLinearNotLogLinear) {
+  // Lemma 5.8: at most 2n conquer + more/done messages in the Bounded model
+  // (they are only sent in the final phase).
+  for (const std::size_t n : {64u, 256u, 700u}) {
+    const auto g = graph::random_weakly_connected(n, 2 * n, n);
+    sim::random_delay_scheduler sched(n);
+    core::config cfg;
+    cfg.algo = variant::bounded;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    run.run();
+    EXPECT_LE(run.statistics().messages_of_any({"conquer", "more_done"}),
+              2 * n)
+        << "n=" << n;
+  }
+}
+
+TEST(Bounded, EachComponentUsesItsOwnSize) {
+  // Multi-component graph: sizes differ per component; each leader must
+  // terminate against its own component's size, not the global node count.
+  graph::digraph g;
+  // component A: 3 nodes; component B: 5 nodes.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(10, 11);
+  g.add_edge(11, 12);
+  g.add_edge(12, 13);
+  g.add_edge(13, 14);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::bounded;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  for (const node_id lid : run.leaders())
+    EXPECT_EQ(run.at(lid).status(), core::status_t::terminated);
+}
+
+TEST(Bounded, TerminatedLeaderKnowsEveryone) {
+  const auto g = graph::star_in(40);
+  const auto r = run_instrumented(g, variant::bounded, 6);
+  EXPECT_EQ(r.summary.leaders.size(), 1u);
+}
+
+using sweep_param = std::tuple<std::size_t, std::uint64_t>;
+
+class BoundedSweep : public ::testing::TestWithParam<sweep_param> {};
+
+TEST_P(BoundedSweep, SafetyTerminationAndBounds) {
+  const auto [n, seed] = GetParam();
+  const auto g = graph::random_weakly_connected(n, n, seed * 31 + n);
+  run_instrumented(g, variant::bounded, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundedSweep,
+    ::testing::Combine(::testing::Values(5, 17, 60, 150),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const ::testing::TestParamInfo<sweep_param>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class BoundedTopologies : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedTopologies, StructuredGraphs) {
+  switch (GetParam()) {
+    case 0: run_instrumented(graph::directed_path(31), variant::bounded, 1); break;
+    case 1: run_instrumented(graph::star_out(31), variant::bounded, 2); break;
+    case 2: run_instrumented(graph::star_in(31), variant::bounded, 3); break;
+    case 3:
+      run_instrumented(graph::directed_binary_tree(5), variant::bounded, 4);
+      break;
+    case 4: run_instrumented(graph::clique(17), variant::bounded, 5); break;
+    case 5:
+      run_instrumented(graph::preferential_attachment(50, 2, 9),
+                       variant::bounded, 6);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BoundedTopologies, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,183 @@
+// The message-passing Chord DHT (overlay/dht.h): distributed lookups,
+// late joins with ring healing, and the discovery -> DHT pipeline.
+#include <gtest/gtest.h>
+
+#include "common/bitmath.h"
+#include "common/rng.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "overlay/dht.h"
+#include "overlay/ring.h"
+
+namespace asyncrd {
+namespace {
+
+using overlay::dht_node;
+using overlay::key_t;
+
+std::vector<node_id> spaced_census(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  std::set<node_id> ids;
+  while (ids.size() < n) ids.insert(static_cast<node_id>(r.next()));
+  return {ids.begin(), ids.end()};
+}
+
+dht_node& at(sim::network& net, node_id v) {
+  auto* p = dynamic_cast<dht_node*>(net.find(v));
+  EXPECT_NE(p, nullptr);
+  return *p;
+}
+
+TEST(Dht, FullCensusNodesAgreeWithLocalRing) {
+  const auto census = spaced_census(40, 3);
+  sim::unit_delay_scheduler sched;
+  auto net = overlay::make_dht_network(census, sched);
+  net->run();
+  const overlay::ring_overlay ring(census);
+  for (const node_id v : census) {
+    EXPECT_EQ(at(*net, v).successor(), ring.successor(v));
+    EXPECT_EQ(at(*net, v).predecessor(), ring.predecessor(v));
+  }
+}
+
+TEST(Dht, DistributedLookupsLandOnTheRightHome) {
+  const auto census = spaced_census(64, 7);
+  sim::random_delay_scheduler sched(9);
+  auto net = overlay::make_dht_network(census, sched);
+  net->run();
+  const overlay::ring_overlay ring(census);
+
+  rng r(21);
+  std::vector<std::pair<node_id, key_t>> issued;
+  for (int i = 0; i < 80; ++i) {
+    const node_id from = census[static_cast<std::size_t>(r.below(census.size()))];
+    const key_t key = static_cast<key_t>(r.next());
+    at(*net, from).start_lookup(*net, key);
+    issued.emplace_back(from, key);
+  }
+  net->run();
+
+  // Asynchrony reorders completions; match results to requests by key.
+  for (const auto& [from, key] : issued) {
+    const auto& results = at(*net, from).lookups();
+    const auto it =
+        std::find_if(results.begin(), results.end(),
+                     [key = key](const auto& res) { return res.key == key; });
+    ASSERT_NE(it, results.end()) << "lookup lost at node " << from;
+    EXPECT_EQ(it->home, ring.successor_of(key));
+  }
+}
+
+TEST(Dht, LookupHopsAreLogarithmic) {
+  const auto census = spaced_census(256, 5);
+  sim::unit_delay_scheduler sched;
+  auto net = overlay::make_dht_network(census, sched);
+  net->run();
+  rng r(4);
+  std::size_t worst = 0;
+  for (int i = 0; i < 60; ++i) {
+    const node_id from = census[static_cast<std::size_t>(r.below(census.size()))];
+    at(*net, from).start_lookup(*net, static_cast<key_t>(r.next()));
+  }
+  net->run();
+  for (const node_id v : census)
+    for (const auto& res : at(*net, v).lookups())
+      worst = std::max(worst, res.hops);
+  EXPECT_LE(worst, 2 * ceil_log2(census.size()) + 2);
+  EXPECT_GT(worst, 1u);  // distributed, not oracle
+}
+
+TEST(Dht, LateJoinHealsTheRing) {
+  auto census = spaced_census(32, 11);
+  sim::unit_delay_scheduler sched;
+  auto net = overlay::make_dht_network(census, sched, /*maintenance=*/4);
+  net->run();
+
+  // A newcomer knowing a single member (as §6's dynamic joiner would after
+  // probing its discovery leader).
+  rng r(2);
+  node_id fresh = static_cast<node_id>(r.next());
+  while (std::find(census.begin(), census.end(), fresh) != census.end())
+    fresh = static_cast<node_id>(r.next());
+  net->add_node(fresh, std::make_unique<dht_node>(fresh, census.front(),
+                                                  /*maintenance=*/12));
+  net->wake(fresh);
+  net->run();
+
+  ASSERT_TRUE(at(*net, fresh).joined());
+  // The healed ring must place the newcomer between its true neighbors.
+  census.push_back(fresh);
+  const overlay::ring_overlay ring(census);
+  EXPECT_EQ(at(*net, fresh).successor(), ring.successor(fresh));
+  EXPECT_EQ(at(*net, ring.predecessor(fresh)).successor(), fresh);
+  EXPECT_EQ(at(*net, fresh).predecessor(), ring.predecessor(fresh));
+  EXPECT_EQ(at(*net, ring.successor(fresh)).predecessor(), fresh);
+}
+
+TEST(Dht, LookupsIssuedBeforeJoinCompleteAfterwards) {
+  const auto census = spaced_census(16, 13);
+  sim::unit_delay_scheduler sched;
+  auto net = overlay::make_dht_network(census, sched, 2);
+  net->run();
+  const node_id fresh = 1234567;
+  net->add_node(fresh, std::make_unique<dht_node>(fresh, census.front(), 8));
+  at(*net, fresh).start_lookup(*net, 42);  // queued: not yet woken/joined
+  net->wake(fresh);
+  net->run();
+  ASSERT_EQ(at(*net, fresh).lookups().size(), 1u);
+  // The queued lookup fires the moment the join completes; the ring may
+  // still be healing, so either the pre-join or post-join home is a valid
+  // linearization.
+  std::vector<node_id> grown = census;
+  grown.push_back(fresh);
+  const node_id home = at(*net, fresh).lookups().front().home;
+  EXPECT_TRUE(home == overlay::ring_overlay(grown).successor_of(42) ||
+              home == overlay::ring_overlay(census).successor_of(42))
+      << "home " << home;
+}
+
+TEST(Dht, PipelineDiscoveryToDistributedLookup) {
+  // discovery on a knowledge graph -> leader census -> DHT network ->
+  // distributed lookups: the full story of the paper's introduction.
+  const auto g = graph::random_weakly_connected(48, 70, 31);
+  sim::random_delay_scheduler dsched(2);
+  core::config cfg;
+  core::discovery_run run(g, cfg, dsched);
+  run.wake_all();
+  run.run();
+  const auto& done = run.at(run.leaders().front()).done();
+  const std::vector<node_id> census(done.begin(), done.end());
+
+  sim::random_delay_scheduler osched(3);
+  auto net = overlay::make_dht_network(census, osched);
+  net->run();
+  at(*net, census[5]).start_lookup(*net, 777);
+  net->run();
+  ASSERT_EQ(at(*net, census[5]).lookups().size(), 1u);
+  EXPECT_EQ(at(*net, census[5]).lookups().front().home,
+            overlay::ring_overlay(census).successor_of(777));
+}
+
+TEST(Dht, SingleNodeOwnsEverything) {
+  sim::unit_delay_scheduler sched;
+  auto net = overlay::make_dht_network({42}, sched);
+  net->run();
+  at(*net, 42).start_lookup(*net, 0xDEADBEEF);
+  net->run();
+  ASSERT_EQ(at(*net, 42).lookups().size(), 1u);
+  EXPECT_EQ(at(*net, 42).lookups().front().home, 42u);
+  EXPECT_EQ(at(*net, 42).lookups().front().hops, 0u);
+}
+
+TEST(Dht, MaintenanceTrafficQuiesces) {
+  // Tick budgets guarantee quiescence even with maintenance enabled.
+  const auto census = spaced_census(24, 17);
+  sim::unit_delay_scheduler sched;
+  auto net = overlay::make_dht_network(census, sched, /*maintenance=*/16);
+  const auto r = net->run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(net->channels_empty());
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace asyncrd {
+namespace {
+
+using graph::digraph;
+
+TEST(Digraph, AddNodesAndEdges) {
+  digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.has_node(3));
+  EXPECT_FALSE(g.has_node(4));
+}
+
+TEST(Digraph, SelfLoopsIgnored) {
+  digraph g;
+  g.add_edge(1, 1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, DuplicateEdgesIgnored) {
+  digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, OutNeighborhood) {
+  digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.out(1).size(), 2u);
+  EXPECT_TRUE(g.out(1).contains(3));
+  EXPECT_TRUE(g.out(2).empty());
+  EXPECT_TRUE(g.out(99).empty());  // unknown node: empty view
+}
+
+TEST(Digraph, WeakComponentsIgnoreDirection) {
+  digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(3, 2);  // 1,2,3 weakly connected despite opposing arrows
+  g.add_edge(4, 5);
+  g.add_node(6);
+  const auto comps = g.weak_components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<node_id>{1, 2, 3}));
+  EXPECT_EQ(comps[1], (std::vector<node_id>{4, 5}));
+  EXPECT_EQ(comps[2], (std::vector<node_id>{6}));
+}
+
+TEST(Digraph, IsWeaklyConnected) {
+  digraph g;
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_weakly_connected());
+  g.add_node(9);
+  EXPECT_FALSE(g.is_weakly_connected());
+  digraph empty;
+  EXPECT_TRUE(empty.is_weakly_connected());
+}
+
+TEST(Digraph, StrongComponentsCycleVsDag) {
+  digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);  // 1-2-3 cycle
+  g.add_edge(3, 4);  // 4 hangs off
+  const auto sccs = g.strong_components();
+  ASSERT_EQ(sccs.size(), 2u);
+  bool found_cycle = false;
+  for (const auto& c : sccs)
+    if (c == std::vector<node_id>{1, 2, 3}) found_cycle = true;
+  EXPECT_TRUE(found_cycle);
+  EXPECT_FALSE(g.is_strongly_connected());
+}
+
+TEST(Digraph, StronglyConnectedRing) {
+  digraph g;
+  for (node_id v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);
+  EXPECT_TRUE(g.is_strongly_connected());
+}
+
+TEST(Digraph, WeakComponentSizes) {
+  digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_node(7);
+  const auto sizes = g.weak_component_sizes();
+  EXPECT_EQ(sizes.at(1), 3u);
+  EXPECT_EQ(sizes.at(3), 3u);
+  EXPECT_EQ(sizes.at(7), 1u);
+}
+
+TEST(Digraph, LargeSccIterativeTarjanDoesNotOverflow) {
+  // A long path with a back edge: one big SCC; exercises the iterative
+  // implementation with deep nesting.
+  digraph g;
+  const node_id n = 50'000;
+  for (node_id v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(n - 1, 0);
+  EXPECT_TRUE(g.is_strongly_connected());
+}
+
+}  // namespace
+}  // namespace asyncrd

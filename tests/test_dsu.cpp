@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "unionfind/dsu.h"
+
+namespace asyncrd {
+namespace {
+
+using uf::compress_policy;
+using uf::dsu;
+using uf::link_policy;
+using uf::uf_op;
+
+TEST(Dsu, InitiallyAllSingletons) {
+  dsu d(5);
+  EXPECT_EQ(d.component_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(d.find(i), i);
+}
+
+TEST(Dsu, UniteMergesAndIsIdempotent) {
+  dsu d(4);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_FALSE(d.unite(0, 1));
+  EXPECT_TRUE(d.same(0, 1));
+  EXPECT_FALSE(d.same(0, 2));
+  EXPECT_EQ(d.component_count(), 3u);
+}
+
+TEST(Dsu, TransitivityAcrossChains) {
+  dsu d(6);
+  d.unite(0, 1);
+  d.unite(2, 3);
+  d.unite(1, 2);
+  EXPECT_TRUE(d.same(0, 3));
+  EXPECT_FALSE(d.same(0, 4));
+}
+
+/// Brute-force oracle: component labels via repeated relabeling.
+class oracle {
+ public:
+  explicit oracle(std::size_t n) : label_(n) {
+    for (std::size_t i = 0; i < n; ++i) label_[i] = i;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    const std::size_t la = label_[a], lb = label_[b];
+    if (la == lb) return;
+    for (auto& l : label_)
+      if (l == la) l = lb;
+  }
+  bool same(std::size_t a, std::size_t b) const {
+    return label_[a] == label_[b];
+  }
+
+ private:
+  std::vector<std::size_t> label_;
+};
+
+class DsuPolicies
+    : public ::testing::TestWithParam<std::pair<link_policy, compress_policy>> {
+};
+
+TEST_P(DsuPolicies, AgreesWithBruteForceOracle) {
+  const auto [lp, cp] = GetParam();
+  const std::size_t n = 120;
+  dsu d(n, lp, cp);
+  oracle o(n);
+  rng r(2024);
+  for (int step = 0; step < 3000; ++step) {
+    const auto a = static_cast<std::size_t>(r.below(n));
+    const auto b = static_cast<std::size_t>(r.below(n));
+    if (r.chance(0.4)) {
+      EXPECT_EQ(d.unite(a, b), !o.same(a, b));
+      o.unite(a, b);
+    } else {
+      EXPECT_EQ(d.same(a, b), o.same(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicyCombos, DsuPolicies,
+    ::testing::Values(
+        std::make_pair(link_policy::by_rank, compress_policy::full),
+        std::make_pair(link_policy::by_rank, compress_policy::none),
+        std::make_pair(link_policy::naive, compress_policy::full),
+        std::make_pair(link_policy::naive, compress_policy::none)));
+
+TEST(Dsu, PathCompressionReducesFindSteps) {
+  // Build a long naive chain (0 -> 1 -> ... -> n-1: unite(i, i+1) links the
+  // current root i under i+1), then probe the deep end repeatedly.
+  const std::size_t n = 4096;
+  dsu with(n, link_policy::naive, compress_policy::full);
+  dsu without(n, link_policy::naive, compress_policy::none);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    with.unite(i, i + 1);
+    without.unite(i, i + 1);
+  }
+  const auto base_with = with.find_steps();
+  const auto base_without = without.find_steps();
+  for (int probes = 0; probes < 100; ++probes) {
+    with.find(0);
+    without.find(0);
+  }
+  // Compressed: the first probe pays n-1 hops, the rest are one hop each.
+  EXPECT_LT(with.find_steps() - base_with, 2 * n);
+  EXPECT_EQ(without.find_steps() - base_without, 100 * (n - 1));
+}
+
+TEST(Dsu, UnionByRankBoundsTreeDepth) {
+  const std::size_t n = 1 << 12;
+  dsu d(n, link_policy::by_rank, compress_policy::none);
+  // Binomial merge: adversarial for naive linking, fine for rank linking.
+  for (std::size_t w = 1; w < n; w *= 2)
+    for (std::size_t b = 0; b + w < n; b += 2 * w) d.unite(b, b + w);
+  const auto steps_before = d.find_steps();
+  d.find(0);
+  // Depth <= log2(n) = 12.
+  EXPECT_LE(d.find_steps() - steps_before, 12u);
+}
+
+TEST(DsuSchedule, RandomScheduleShape) {
+  const auto sched = uf::random_schedule(50, 30, 99);
+  std::size_t unites = 0, finds = 0;
+  dsu check(50);
+  for (const auto& op : sched) {
+    if (op.op == uf_op::kind::unite) {
+      ++unites;
+      // Every scheduled unite joins two currently-distinct sets.
+      EXPECT_FALSE(check.same(op.a, op.b));
+      check.unite(op.a, op.b);
+    } else {
+      ++finds;
+      EXPECT_LT(op.a, 50u);
+    }
+  }
+  EXPECT_EQ(unites, 49u);
+  EXPECT_EQ(finds, 30u);
+  EXPECT_EQ(check.component_count(), 1u);
+}
+
+TEST(DsuSchedule, RandomScheduleDeterministic) {
+  const auto a = uf::random_schedule(30, 10, 5);
+  const auto b = uf::random_schedule(30, 10, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+  }
+}
+
+TEST(DsuSchedule, AdversarialScheduleMergesEverything) {
+  const auto sched = uf::adversarial_schedule(64, 64);
+  dsu check(64);
+  std::size_t finds = 0;
+  for (const auto& op : sched) {
+    if (op.op == uf_op::kind::unite)
+      check.unite(op.a, op.b);
+    else
+      ++finds;
+  }
+  EXPECT_EQ(check.component_count(), 1u);
+  EXPECT_GE(finds, 64u);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/event_log.h"
+
+namespace asyncrd {
+namespace {
+
+sim::event_log run_logged(const graph::digraph& g, std::size_t capacity) {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  sim::event_log log(capacity);
+  run.net().set_observer(&log);
+  run.wake_all();
+  run.run();
+  return log;
+}
+
+TEST(EventLog, RecordsWakesSendsDeliveries) {
+  const auto log = run_logged(graph::directed_path(4), 1 << 16);
+  EXPECT_EQ(log.of_kind(sim::logged_event::kind::wake).size(), 4u);
+  const auto sends = log.of_kind(sim::logged_event::kind::send);
+  const auto delivers = log.of_kind(sim::logged_event::kind::deliver);
+  EXPECT_FALSE(sends.empty());
+  EXPECT_EQ(sends.size(), delivers.size());  // reliable network
+}
+
+TEST(EventLog, EverySendIsEventuallyDelivered) {
+  const auto log =
+      run_logged(graph::random_weakly_connected(20, 30, 4), 1 << 18);
+  std::multiset<std::tuple<node_id, node_id, std::string>> sent, got;
+  for (const auto& e : log.events()) {
+    if (e.what == sim::logged_event::kind::send)
+      sent.insert({e.from, e.to, e.type});
+    else if (e.what == sim::logged_event::kind::deliver)
+      got.insert({e.from, e.to, e.type});
+  }
+  EXPECT_EQ(sent, got);
+}
+
+TEST(EventLog, TimesAreMonotonic) {
+  const auto log = run_logged(graph::star_out(10), 1 << 16);
+  sim::sim_time prev = 0;
+  for (const auto& e : log.events()) {
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+  }
+}
+
+TEST(EventLog, TouchingFiltersByNode) {
+  const auto log = run_logged(graph::directed_path(3), 1 << 16);
+  for (const auto& e : log.touching(1))
+    EXPECT_TRUE(e.from == 1 || e.to == 1);
+  EXPECT_FALSE(log.touching(1).empty());
+}
+
+TEST(EventLog, CapacityDropsAreCounted) {
+  const auto log = run_logged(graph::random_weakly_connected(15, 20, 2), 8);
+  EXPECT_EQ(log.events().size(), 8u);
+  EXPECT_GT(log.dropped(), 0u);
+}
+
+TEST(EventLog, RenderProducesReadableLines) {
+  const auto log = run_logged(graph::directed_path(3), 1 << 16);
+  std::ostringstream ss;
+  log.render(ss, 10);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("wake"), std::string::npos);
+  EXPECT_NE(out.find("deliver"), std::string::npos);
+  EXPECT_NE(out.find("t="), std::string::npos);
+}
+
+TEST(EventLog, ClearResets) {
+  auto log = run_logged(graph::directed_path(3), 1 << 16);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(NewTopologies, HypercubeShape) {
+  const auto g = graph::hypercube(5, 3);
+  EXPECT_EQ(g.node_count(), 32u);
+  EXPECT_EQ(g.edge_count(), 5u * 32u / 2u);  // one orientation per edge
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(NewTopologies, GridShape) {
+  const auto g = graph::grid(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 4u * 4u + 3u * 5u);  // right + down edges
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(NewTopologies, LayeredDagConnectedAndSized) {
+  const auto g = graph::layered_dag(5, 6, 2, 7);
+  EXPECT_EQ(g.node_count(), 30u);
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(NewTopologies, BowtieShape) {
+  const auto g = graph::bowtie(5);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 2u * 20u + 1u);
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(NewTopologies, DiscoveryWorksOnAllOfThem) {
+  for (const auto variant : {core::variant::generic, core::variant::bounded,
+                             core::variant::adhoc}) {
+    for (int which = 0; which < 4; ++which) {
+      graph::digraph g;
+      switch (which) {
+        case 0: g = graph::hypercube(5, 1); break;
+        case 1: g = graph::grid(5, 6); break;
+        case 2: g = graph::layered_dag(4, 5, 2, 3); break;
+        case 3: g = graph::bowtie(6); break;
+      }
+      const auto s = core::run_discovery(g, variant, 5);
+      EXPECT_EQ(s.leaders.size(), 1u)
+          << "variant " << core::to_string(variant) << " topo " << which;
+      EXPECT_TRUE(s.completed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncrd

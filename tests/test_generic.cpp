@@ -1,0 +1,239 @@
+// The Generic (Oblivious) algorithm: detailed behavior tests plus a broad
+// property sweep over topology x size x schedule seeds.
+#include <gtest/gtest.h>
+
+#include "common/bitmath.h"
+#include "core/adversary.h"
+#include "graph/topology.h"
+#include "test_util.h"
+
+namespace asyncrd {
+namespace {
+
+using core::variant;
+using testing::run_instrumented;
+
+// ---------------------------------------------------------------------------
+// micro-scenarios
+// ---------------------------------------------------------------------------
+
+TEST(Generic, TwoNodesOneDirectedEdgeBothOrders) {
+  // The discovery dance: 0 knows 1.  Whoever has the higher id must win.
+  {
+    graph::digraph g;
+    g.add_edge(0, 1);  // lower knows higher
+    sim::unit_delay_scheduler sched;
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    run.run();
+    EXPECT_EQ(run.leaders(), (std::vector<node_id>{1}));
+    EXPECT_EQ(run.at(0).next(), 1u);
+  }
+  {
+    graph::digraph g;
+    g.add_edge(1, 0);  // higher knows lower
+    sim::unit_delay_scheduler sched;
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    run.run();
+    EXPECT_EQ(run.leaders(), (std::vector<node_id>{1}));
+    EXPECT_EQ(run.at(0).next(), 1u);
+  }
+}
+
+TEST(Generic, MutualEdgePairAgrees) {
+  graph::digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto r = run_instrumented(g, variant::generic, 0);
+  EXPECT_EQ(r.summary.leaders.size(), 1u);
+}
+
+TEST(Generic, LeaderDoneSetIsExactlyComponent) {
+  const auto g = graph::random_weakly_connected(30, 30, 1);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const auto leaders = run.leaders();
+  ASSERT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(run.at(leaders.front()).done().size(), 30u);
+  EXPECT_TRUE(run.at(leaders.front()).more().empty());
+  EXPECT_TRUE(run.at(leaders.front()).unexplored().empty());
+}
+
+TEST(Generic, AllNonLeadersPointDirectlyAtLeader) {
+  // Property (3) of full resource discovery: direct knowledge of the leader.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = graph::random_weakly_connected(25, 50, seed);
+    sim::random_delay_scheduler sched(seed);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    run.run();
+    const auto leaders = run.leaders();
+    ASSERT_EQ(leaders.size(), 1u) << "seed " << seed;
+    for (const node_id v : run.ids())
+      if (v != leaders.front())
+        EXPECT_EQ(run.at(v).next(), leaders.front()) << "seed " << seed;
+  }
+}
+
+TEST(Generic, PhaseNeverExceedsLogN) {
+  // The phase plays the role of a union-by-rank rank: "the maximum phase of
+  // any leader is log n" (Lemma 5.8's proof).
+  const std::size_t n = 128;
+  const auto g = graph::random_weakly_connected(n, 2 * n, 77);
+  sim::random_delay_scheduler sched(5);
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  for (const node_id v : run.ids())
+    EXPECT_LE(run.at(v).phase(), ceil_log2(n) + 1) << "node " << v;
+}
+
+TEST(Generic, SingletonComponentIsItsOwnLeader) {
+  graph::digraph g;
+  g.add_node(42);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  EXPECT_EQ(run.leaders(), (std::vector<node_id>{42}));
+  EXPECT_EQ(run.statistics().total_messages(), 0u);
+}
+
+TEST(Generic, StaggeredWakeupsStillConverge) {
+  // No global initialization time: wake nodes one quiescence apart.
+  const auto g = graph::random_weakly_connected(20, 25, 3);
+  auto order = g.nodes();
+  core::sequential_wakeup_scheduler sched(order);
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  // Wake only the first node; the scheduler staggers the rest.
+  run.net().wake(order.front());
+  const auto r = run.run();
+  EXPECT_TRUE(r.completed);
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(Generic, HighestIdAlwaysSurvivesAsLeaderOnCliques) {
+  for (std::size_t n : {2u, 3u, 5u, 9u}) {
+    const auto g = graph::clique(n);
+    sim::random_delay_scheduler sched(n);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    run.run();
+    // On a clique the max id can never be conquered before conquering:
+    // ties in phase resolve by id and every node can reach it.
+    const auto leaders = run.leaders();
+    ASSERT_EQ(leaders.size(), 1u);
+  }
+}
+
+TEST(Generic, MessageCountWithinNLogNConstant) {
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const auto g = graph::random_weakly_connected(n, n, n);
+    const auto r = run_instrumented(g, variant::generic, 1);
+    const double cap = 8.0 * n_log_n(static_cast<double>(n)) + 64;
+    EXPECT_LE(static_cast<double>(r.summary.messages), cap) << "n=" << n;
+  }
+}
+
+TEST(Generic, BitComplexityWithinTheorem7Envelope) {
+  // O(|E0| log n + n log^2 n) with an explicit audit constant.
+  for (const std::size_t n : {128u, 512u}) {
+    const auto g = graph::random_weakly_connected(n, 4 * n, n + 9);
+    const auto r = run_instrumented(g, variant::generic, 2);
+    const double log_n = static_cast<double>(ceil_log2(n));
+    const double cap =
+        16.0 * (static_cast<double>(g.edge_count()) * log_n +
+                static_cast<double>(n) * log_n * log_n) + 1024;
+    EXPECT_LE(static_cast<double>(r.summary.bits), cap) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// property sweep: topology family x n x seed
+// ---------------------------------------------------------------------------
+
+enum class family { random_sparse, random_dense, path, star_in, star_out,
+                    tree, pref_attach, erdos, hypercube, grid, dag, bowtie };
+
+graph::digraph make_family(family f, std::size_t n, std::uint64_t seed) {
+  switch (f) {
+    case family::random_sparse:
+      return graph::random_weakly_connected(n, n / 2, seed);
+    case family::random_dense:
+      return graph::random_weakly_connected(n, 4 * n, seed);
+    case family::path: return graph::directed_path(n);
+    case family::star_in: return graph::star_in(n);
+    case family::star_out: return graph::star_out(n);
+    case family::tree:
+      return graph::directed_binary_tree(ceil_log2(n + 1));
+    case family::pref_attach:
+      return graph::preferential_attachment(n, 3, seed);
+    case family::erdos: return graph::erdos_renyi_connected(n, 4.0 / static_cast<double>(n), seed);
+    case family::hypercube: return graph::hypercube(ceil_log2(n + 1), seed);
+    case family::grid: return graph::grid(n / 8 + 1, 8);
+    case family::dag: return graph::layered_dag(n / 8 + 1, 8, 2, seed);
+    case family::bowtie: return graph::bowtie(n / 2 + 1);
+  }
+  return {};
+}
+
+const char* family_name(family f) {
+  switch (f) {
+    case family::random_sparse: return "random_sparse";
+    case family::random_dense: return "random_dense";
+    case family::path: return "path";
+    case family::star_in: return "star_in";
+    case family::star_out: return "star_out";
+    case family::tree: return "tree";
+    case family::pref_attach: return "pref_attach";
+    case family::erdos: return "erdos";
+    case family::hypercube: return "hypercube";
+    case family::grid: return "grid";
+    case family::dag: return "dag";
+    case family::bowtie: return "bowtie";
+  }
+  return "?";
+}
+
+using sweep_param = std::tuple<family, std::size_t, std::uint64_t>;
+
+class GenericSweep : public ::testing::TestWithParam<sweep_param> {};
+
+TEST_P(GenericSweep, SafetyLivenessBoundsAndFig1) {
+  const auto [f, n, seed] = GetParam();
+  const auto g = make_family(f, n, seed);
+  SCOPED_TRACE(std::string(family_name(f)) + " n=" + std::to_string(n) +
+               " seed=" + std::to_string(seed));
+  run_instrumented(g, variant::generic, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, GenericSweep,
+    ::testing::Combine(
+        ::testing::Values(family::random_sparse, family::random_dense,
+                          family::path, family::star_in, family::star_out,
+                          family::tree, family::pref_attach, family::erdos,
+                          family::hypercube, family::grid, family::dag,
+                          family::bowtie),
+        ::testing::Values(8, 33, 90),
+        ::testing::Values(1, 7, 1234)),
+    [](const ::testing::TestParamInfo<sweep_param>& info) {
+      return std::string(family_name(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace asyncrd

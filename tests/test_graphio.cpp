@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graphio.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(GraphIo, ParsesEdgesCommentsAndNodes) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "0 1\n"
+      "  // another comment\n"
+      "1 2\n"
+      "node 7\n"
+      "2 0\n");
+  const auto g = graph::read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.has_node(7));
+}
+
+TEST(GraphIo, RejectsMalformedLines) {
+  {
+    std::istringstream in("0\n");
+    EXPECT_THROW(graph::read_edge_list(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("0 1 2\n");
+    EXPECT_THROW(graph::read_edge_list(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("abc 1\n");
+    EXPECT_THROW(graph::read_edge_list(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("node\n");
+    EXPECT_THROW(graph::read_edge_list(in), std::runtime_error);
+  }
+}
+
+TEST(GraphIo, ErrorMessagesCarryLineNumbers) {
+  std::istringstream in("0 1\nbogus\n");
+  try {
+    graph::read_edge_list(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, RoundTripPreservesGraph) {
+  const auto g = graph::random_weakly_connected(40, 60, 11);
+  std::ostringstream out;
+  graph::write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const auto g2 = graph::read_edge_list(in);
+  EXPECT_EQ(g2.node_count(), g.node_count());
+  EXPECT_EQ(g2.edge_count(), g.edge_count());
+  for (const node_id v : g.nodes()) EXPECT_EQ(g2.out(v), g.out(v));
+}
+
+TEST(GraphIo, RoundTripKeepsIsolatedNodes) {
+  graph::digraph g;
+  g.add_edge(0, 1);
+  g.add_node(5);
+  std::ostringstream out;
+  graph::write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const auto g2 = graph::read_edge_list(in);
+  EXPECT_TRUE(g2.has_node(5));
+  EXPECT_EQ(g2.node_count(), 3u);
+}
+
+TEST(GraphIo, DotOutputMentionsEveryNodeAndEdge) {
+  graph::digraph g;
+  g.add_edge(1, 2);
+  g.add_node(3);
+  const std::string dot = graph::to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("n3"), std::string::npos);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(graph::read_edge_list_file("/nonexistent/path/g.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace asyncrd

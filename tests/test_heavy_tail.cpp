@@ -1,0 +1,71 @@
+// Heavy-tailed delivery delays: the model only promises *finite* delays,
+// so correctness and the message-count bounds must be delay-distribution
+// independent.  (Message counts may differ per schedule; the caps may
+// not.)
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(HeavyTail, SamplerProducesTailAndFloor) {
+  sim::heavy_tail_delay_scheduler sched(7);
+  sim::sim_time max_seen = 0;
+  std::uint64_t small = 0;
+  const int draws = 20'000;
+  for (int i = 0; i < draws; ++i) {
+    const auto d = sched.delay(0, 1, core::query_msg(1));
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, 100'000u);
+    max_seen = std::max(max_seen, d);
+    if (d <= 3) ++small;
+  }
+  EXPECT_GT(max_seen, 100u);               // the tail is real
+  EXPECT_GT(small, draws / 2u);            // but most messages are fast
+}
+
+class HeavyTailSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeavyTailSweep, AllVariantsStayCorrect) {
+  const std::uint64_t seed = GetParam();
+  const auto g = graph::random_weakly_connected(35, 70, seed * 11 + 2);
+  for (const auto v : {core::variant::generic, core::variant::bounded,
+                       core::variant::adhoc}) {
+    sim::heavy_tail_delay_scheduler sched(seed);
+    core::config cfg;
+    cfg.algo = v;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    const auto r = run.run();
+    ASSERT_TRUE(r.completed);
+    const auto rep = core::check_final_state(run, g);
+    EXPECT_TRUE(rep.ok()) << core::to_string(v) << " seed " << seed << ":\n"
+                          << rep.to_string();
+    for (const auto& row : core::check_message_bounds(run.statistics(),
+                                                      g.node_count(), v)) {
+      EXPECT_TRUE(row.ok()) << row.name << " under heavy-tail delays";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeavyTailSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(HeavyTail, ExtremeTailStillQuiesces) {
+  // alpha just above 1: very heavy tail, stragglers up to the cap.
+  const auto g = graph::random_weakly_connected(25, 40, 3);
+  sim::heavy_tail_delay_scheduler sched(5, /*tail_alpha=*/1.05);
+  core::config cfg;
+  cfg.algo = core::variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  const auto r = run.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(core::check_final_state(run, g).ok());
+}
+
+}  // namespace
+}  // namespace asyncrd

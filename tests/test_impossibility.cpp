@@ -1,0 +1,92 @@
+// §1.2's impossibility argument, demonstrated on the real implementation:
+//
+// "Suppose a leader election algorithm has a terminating execution on a
+//  network G, then combine two G's and a single node u.  Add a directed
+//  edge from u to both copies of G.  Now wake up all nodes except node u.
+//  Each copy of G will elect a leader and terminate.  This will cause a
+//  termination with two leaders."
+//
+// Consequence: Oblivious/Ad-hoc algorithms must NOT detect termination —
+// and indeed, after the two copies quiesce with two leaders, waking u
+// forces further messages that merge everything.  (The Bounded model
+// escapes the argument because u's existence changes every node's known
+// component size.)
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+graph::digraph two_copies_plus_u() {
+  // Copy A: ids 0..9, copy B: ids 10..19, hidden node u = 20.
+  graph::digraph g;
+  const auto part = graph::random_weakly_connected(10, 12, 5);
+  for (const node_id v : part.nodes())
+    for (const node_id w : part.out(v)) {
+      g.add_edge(v, w);
+      g.add_edge(v + 10, w + 10);
+    }
+  g.add_edge(20, 0);
+  g.add_edge(20, 10);
+  return g;
+}
+
+TEST(Impossibility, TwoIdenticalCopiesQuiesceWithTwoLeaders) {
+  const auto g = two_copies_plus_u();
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  for (const node_id v : run.ids())
+    if (v != 20) run.net().wake(v);
+  run.run();
+
+  // The two copies each elected a leader; u is still asleep.  From any
+  // local observer's view both copies look "done" — exactly why explicit
+  // termination detection is impossible in the Oblivious model.
+  const auto leaders = run.leaders();  // includes asleep u (a leader-to-be)
+  std::size_t awake_leaders = 0;
+  for (const node_id v : leaders)
+    if (run.net().is_awake(v)) ++awake_leaders;
+  EXPECT_EQ(awake_leaders, 2u);
+  EXPECT_TRUE(run.net().channels_empty());
+
+  // Waking u must trigger new traffic and collapse to a single leader.
+  const auto msgs_before = run.statistics().total_messages();
+  run.net().wake(20);
+  run.run();
+  EXPECT_GT(run.statistics().total_messages(), msgs_before);
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(run.leaders().size(), 1u);
+}
+
+TEST(Impossibility, BoundedModelSidestepsTheArgument) {
+  // In the Bounded model the component includes u, so no copy can reach
+  // |done| = n while u sleeps: nobody terminates prematurely.
+  const auto g = two_copies_plus_u();
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = core::variant::bounded;
+  core::discovery_run run(g, cfg, sched);
+  for (const node_id v : run.ids())
+    if (v != 20) run.net().wake(v);
+  run.run();
+  for (const node_id v : run.ids())
+    EXPECT_NE(run.at(v).status(), core::status_t::terminated)
+        << "node " << v << " terminated while node 20 was still asleep";
+
+  run.net().wake(20);
+  run.run();
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  // Now exactly one termination-detecting leader exists.
+  const auto leaders = run.leaders();
+  ASSERT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(run.at(leaders.front()).status(), core::status_t::terminated);
+}
+
+}  // namespace
+}  // namespace asyncrd

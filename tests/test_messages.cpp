@@ -1,0 +1,115 @@
+// Exhaustive bit-accounting checks: every message type's size formula must
+// match the paper's conventions (ids and integers cost ceil(log2 n) bits,
+// tags and booleans O(1)).  These sizes feed Theorem 7 / Lemmas 5.9-5.10
+// directly, so they are pinned down here field by field.
+#include <gtest/gtest.h>
+
+#include "core/messages.h"
+
+namespace asyncrd {
+namespace {
+
+using namespace asyncrd::core;
+
+constexpr std::size_t B = 12;  // id width used throughout
+constexpr std::size_t H = sim::message::header_bits;
+
+TEST(MessageBits, Query) {
+  const query_msg m(17);
+  EXPECT_EQ(m.id_fields(), 0u);
+  EXPECT_EQ(m.int_fields(), 1u);
+  EXPECT_EQ(m.bits(B), B + H);
+}
+
+TEST(MessageBits, QueryReplyEmpty) {
+  const query_reply_msg m({}, true);
+  EXPECT_EQ(m.bits(B), 1 + H);
+}
+
+TEST(MessageBits, QueryReplyPayload) {
+  const query_reply_msg m({1, 2, 3, 4, 5}, false);
+  EXPECT_EQ(m.bits(B), 5 * B + 1 + H);
+}
+
+TEST(MessageBits, Search) {
+  const search_msg m(7, 3, 9, true);
+  EXPECT_EQ(m.id_fields(), 2u);   // initiator + target
+  EXPECT_EQ(m.int_fields(), 1u);  // phase
+  EXPECT_EQ(m.flag_bits(), 1u);   // new flag
+  EXPECT_EQ(m.bits(B), 3 * B + 1 + H);
+}
+
+TEST(MessageBits, Release) {
+  const release_msg m(7, 2, release_msg::answer_t::merge, 9);
+  EXPECT_EQ(m.id_fields(), 2u);   // from_leader + initiator
+  EXPECT_EQ(m.int_fields(), 1u);  // from_phase (compression key)
+  EXPECT_EQ(m.flag_bits(), 1u);   // merge/abort tag
+  EXPECT_EQ(m.bits(B), 3 * B + 1 + H);
+}
+
+TEST(MessageBits, MergeAcceptAndFail) {
+  const merge_accept_msg a(5, 2);
+  EXPECT_EQ(a.bits(B), 2 * B + H);
+  const merge_fail_msg f;
+  EXPECT_EQ(f.bits(B), H);  // constant size
+}
+
+TEST(MessageBits, InfoScalesWithAllSets) {
+  const info_msg m(4, {1}, {2, 3}, {4, 5, 6}, {7, 8, 9, 10});
+  EXPECT_EQ(m.id_fields(), 10u);
+  EXPECT_EQ(m.bits(B), (10 + 1) * B + H);
+}
+
+TEST(MessageBits, ConquerAndMemberReply) {
+  const conquer_msg c(3, 5);
+  EXPECT_EQ(c.bits(B), 2 * B + H);
+  const member_reply_msg r(true);
+  EXPECT_EQ(r.bits(B), 1 + H);
+}
+
+TEST(MessageBits, ProbeAndReply) {
+  const probe_msg p(4);
+  EXPECT_EQ(p.bits(B), B + H);
+  const probe_reply_msg pr(9, 3, 4, {1, 2, 3});
+  EXPECT_EQ(pr.id_fields(), 2 + 3u);
+  EXPECT_EQ(pr.bits(B), 6 * B + H);
+  const probe_reply_msg empty(9, 3, 4, {});
+  EXPECT_EQ(empty.bits(B), 3 * B + H);
+}
+
+TEST(MessageBits, ReportAndAck) {
+  const report_msg r(6);
+  EXPECT_EQ(r.bits(B), B + H);
+  const report_ack_msg a(9, 2, 6);
+  EXPECT_EQ(a.bits(B), 3 * B + H);
+}
+
+TEST(MessageNames, AreStableAccountingKeys) {
+  // Stats keys are these strings; renaming one silently breaks every
+  // lemma audit, so pin them.
+  EXPECT_EQ(query_msg(1).type_name(), "query");
+  EXPECT_EQ(query_reply_msg({}, false).type_name(), "query_reply");
+  EXPECT_EQ(search_msg(1, 1, 2, false).type_name(), "search");
+  EXPECT_EQ(release_msg(1, 1, release_msg::answer_t::abort, 2).type_name(),
+            "release");
+  EXPECT_EQ(merge_accept_msg(1, 1).type_name(), "merge_accept");
+  EXPECT_EQ(merge_fail_msg().type_name(), "merge_fail");
+  EXPECT_EQ(info_msg(1, {}, {}, {}, {}).type_name(), "info");
+  EXPECT_EQ(conquer_msg(1, 1).type_name(), "conquer");
+  EXPECT_EQ(member_reply_msg(false).type_name(), "more_done");
+  EXPECT_EQ(probe_msg(1).type_name(), "probe");
+  EXPECT_EQ(probe_reply_msg(1, 1, 2, {}).type_name(), "probe_reply");
+  EXPECT_EQ(report_msg(1).type_name(), "report");
+  EXPECT_EQ(report_ack_msg(1, 1, 2).type_name(), "report_ack");
+}
+
+TEST(LexOrder, PhaseDominatesId) {
+  EXPECT_TRUE(lex_greater(2, 1, 1, 9));   // higher phase wins
+  EXPECT_FALSE(lex_greater(1, 9, 2, 1));
+  EXPECT_TRUE(lex_greater(1, 9, 1, 1));   // tie: higher id wins
+  EXPECT_FALSE(lex_greater(1, 1, 1, 9));
+  EXPECT_FALSE(lex_greater(1, 5, 1, 5));  // strict
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,264 @@
+// Simulator substrate tests: FIFO discipline, wake semantics, sender
+// blocking, quiescence hooks, accounting plumbing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace asyncrd {
+namespace {
+
+struct tag_msg final : sim::message {
+  explicit tag_msg(int v) : value(v) {}
+  int value;
+  std::string_view type_name() const noexcept override { return "tag"; }
+  std::size_t id_fields() const noexcept override { return 0; }
+  std::size_t int_fields() const noexcept override { return 1; }
+};
+
+/// Records deliveries; optionally echoes each message once to a peer.
+class recorder_process final : public sim::process {
+ public:
+  void on_wake(sim::context&) override { woke = true; }
+  void on_message(sim::context& ctx, node_id from,
+                  const sim::message_ptr& m) override {
+    const auto& t = static_cast<const tag_msg&>(*m);
+    received.emplace_back(from, t.value);
+    if (echo_to != invalid_node && t.value < echo_limit)
+      ctx.send(echo_to, sim::make_message<tag_msg>(t.value + 1));
+  }
+  bool woke = false;
+  std::vector<std::pair<node_id, int>> received;
+  node_id echo_to = invalid_node;
+  int echo_limit = 0;
+};
+
+/// Sends a burst of tagged messages on wake.
+class burst_process final : public sim::process {
+ public:
+  burst_process(node_id to, int count) : to_(to), count_(count) {}
+  void on_wake(sim::context& ctx) override {
+    for (int i = 0; i < count_; ++i)
+      ctx.send(to_, sim::make_message<tag_msg>(i));
+  }
+  void on_message(sim::context&, node_id, const sim::message_ptr&) override {}
+
+ private:
+  node_id to_;
+  int count_;
+};
+
+TEST(Network, FifoPerChannelUnderUnitDelay) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 50));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.wake(1);
+  net.run();
+  ASSERT_EQ(rec_ptr->received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rec_ptr->received[static_cast<size_t>(i)].second, i);
+}
+
+TEST(Network, FifoPerChannelUnderRandomDelay) {
+  // FIFO must hold even when the scheduler draws wildly different delays.
+  sim::random_delay_scheduler sched(99, 1, 1000);
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 200));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.wake(1);
+  net.run();
+  ASSERT_EQ(rec_ptr->received.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rec_ptr->received[static_cast<size_t>(i)].second, i);
+}
+
+TEST(Network, MessageDeliveryWakesSleepingReceiver) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 1));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.wake(1);  // node 2 is never woken explicitly
+  net.run();
+  EXPECT_TRUE(rec_ptr->woke);
+  EXPECT_TRUE(net.is_awake(2));
+  EXPECT_EQ(rec_ptr->received.size(), 1u);
+}
+
+TEST(Network, BlockedSenderHoldsTrafficUntilUnblocked) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 3));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.block_sender(1);
+  net.wake(1);
+  net.run_to_quiescence();
+  EXPECT_TRUE(rec_ptr->received.empty());
+  EXPECT_FALSE(net.channels_empty());
+  net.unblock_sender(1);
+  net.run_to_quiescence();
+  ASSERT_EQ(rec_ptr->received.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(rec_ptr->received[static_cast<size_t>(i)].second, i);
+  EXPECT_TRUE(net.channels_empty());
+}
+
+TEST(Network, BlockSenderAfterTrafficThrows) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 1));
+  net.add_node(2, std::make_unique<recorder_process>());
+  net.wake(1);
+  net.run_to_quiescence();
+  // Channel 1->2 is drained, so blocking is fine again; put a message in
+  // flight first to trigger the guard.
+  net.block_sender(1);  // empty channels: ok
+  net.unblock_sender(1);
+  sim::context ctx(net, 1);
+  ctx.send(2, sim::make_message<tag_msg>(7));
+  EXPECT_THROW(net.block_sender(1), std::logic_error);
+}
+
+TEST(Network, QuiescenceHookInjectsWork) {
+  class wake_two_later final : public sim::scheduler {
+   public:
+    sim::sim_time delay(node_id, node_id, const sim::message&) override {
+      return 1;
+    }
+    bool on_quiescence(sim::network& net) override {
+      if (fired) return false;
+      fired = true;
+      net.wake(2);
+      return true;
+    }
+    bool fired = false;
+  };
+  wake_two_later sched;
+  sim::network net(sched);
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.add_node(1, std::make_unique<burst_process>(2, 0));
+  net.wake(1);
+  const auto r = net.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(sched.fired);
+  EXPECT_TRUE(rec_ptr->woke);
+}
+
+TEST(Network, StuckQuiescenceHookAborts) {
+  class liar final : public sim::scheduler {
+   public:
+    sim::sim_time delay(node_id, node_id, const sim::message&) override {
+      return 1;
+    }
+    bool on_quiescence(sim::network&) override { return true; }  // never injects
+  };
+  liar sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<recorder_process>());
+  const auto r = net.run();
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Network, EventCapReportsIncomplete) {
+  // Two nodes ping-pong forever.
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  auto a = std::make_unique<recorder_process>();
+  a->echo_to = 2;
+  a->echo_limit = 1 << 30;
+  auto b = std::make_unique<recorder_process>();
+  b->echo_to = 1;
+  b->echo_limit = 1 << 30;
+  net.add_node(1, std::move(a));
+  net.add_node(2, std::move(b));
+  net.wake(1);
+  net.wake(2);
+  sim::context ctx(net, 1);
+  ctx.send(2, sim::make_message<tag_msg>(0));
+  const auto r = net.run(/*max_events=*/500);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Network, DuplicateNodeIdRejected) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<recorder_process>());
+  EXPECT_THROW(net.add_node(1, std::make_unique<recorder_process>()),
+               std::invalid_argument);
+}
+
+TEST(Network, SendToUnknownNodeRejected) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<recorder_process>());
+  sim::context ctx(net, 1);
+  EXPECT_THROW(ctx.send(99, sim::make_message<tag_msg>(0)),
+               std::invalid_argument);
+}
+
+TEST(Network, WakeUnknownNodeRejected) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  EXPECT_THROW(net.wake(5), std::invalid_argument);
+}
+
+TEST(Network, ObserverSeesSendsAndDeliveries) {
+  class counting_observer final : public sim::observer {
+   public:
+    void on_send(sim::sim_time, node_id, node_id, const sim::message&) override {
+      ++sends;
+    }
+    void on_deliver(sim::sim_time, node_id, node_id,
+                    const sim::message&) override {
+      ++delivers;
+    }
+    void on_wake(sim::sim_time, node_id) override { ++wakes; }
+    int sends = 0, delivers = 0, wakes = 0;
+  };
+  counting_observer obs;
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 5));
+  net.add_node(2, std::make_unique<recorder_process>());
+  net.set_observer(&obs);
+  net.wake(1);
+  net.run();
+  EXPECT_EQ(obs.sends, 5);
+  EXPECT_EQ(obs.delivers, 5);
+  EXPECT_EQ(obs.wakes, 2);  // node 1 explicit, node 2 via delivery
+}
+
+TEST(Network, StatsCountAtSendTime) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 4));
+  net.add_node(2, std::make_unique<recorder_process>());
+  net.block_sender(1);
+  net.wake(1);
+  net.run_to_quiescence();
+  // Messages are counted when sent, even while held by the adversary.
+  EXPECT_EQ(net.statistics().messages_of("tag"), 4u);
+}
+
+TEST(Network, TimeAdvancesMonotonically) {
+  sim::random_delay_scheduler sched(5, 1, 9);
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 10));
+  auto rec = std::make_unique<recorder_process>();
+  net.add_node(2, std::move(rec));
+  net.wake(1);
+  const auto before = net.now();
+  net.run();
+  EXPECT_GT(net.now(), before);
+}
+
+}  // namespace
+}  // namespace asyncrd

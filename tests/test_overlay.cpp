@@ -1,0 +1,164 @@
+// The ring overlay (src/overlay): the downstream consumer of a discovery
+// census.  Correctness of successor arithmetic, finger tables, and Chord
+// routing, including the end-to-end pipeline discovery -> census -> ring.
+#include <gtest/gtest.h>
+
+#include "common/bitmath.h"
+#include "common/rng.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "overlay/ring.h"
+
+namespace asyncrd {
+namespace {
+
+using overlay::key_t;
+using overlay::ring_overlay;
+
+TEST(Overlay, BuildsSortedDedupedRing) {
+  ring_overlay ring({5, 1, 9, 5, 3});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.members(), (std::vector<node_id>{1, 3, 5, 9}));
+  EXPECT_TRUE(ring.contains(3));
+  EXPECT_FALSE(ring.contains(4));
+}
+
+TEST(Overlay, SuccessorOfKeyWrapsAround) {
+  ring_overlay ring({10, 20, 30});
+  EXPECT_EQ(ring.successor_of(5), 10u);
+  EXPECT_EQ(ring.successor_of(10), 10u);  // exact member owns its own key
+  EXPECT_EQ(ring.successor_of(11), 20u);
+  EXPECT_EQ(ring.successor_of(25), 30u);
+  EXPECT_EQ(ring.successor_of(31), 10u);  // wrap
+  EXPECT_EQ(ring.successor_of(0xFFFFFFFFu), 10u);
+}
+
+TEST(Overlay, RingNeighbors) {
+  ring_overlay ring({10, 20, 30});
+  EXPECT_EQ(ring.successor(10), 20u);
+  EXPECT_EQ(ring.successor(30), 10u);
+  EXPECT_EQ(ring.predecessor(10), 30u);
+  EXPECT_EQ(ring.predecessor(20), 10u);
+  EXPECT_THROW(ring.successor(99), std::invalid_argument);
+}
+
+TEST(Overlay, SingleMemberOwnsEverything) {
+  ring_overlay ring({7});
+  EXPECT_EQ(ring.successor_of(0), 7u);
+  EXPECT_EQ(ring.successor_of(1u << 31), 7u);
+  EXPECT_EQ(ring.successor(7), 7u);
+  const auto res = ring.lookup(7, 12345);
+  EXPECT_EQ(res.home, 7u);
+  EXPECT_EQ(res.hops(), 0u);
+}
+
+TEST(Overlay, FingerTableTargetsAreSuccessors) {
+  rng r(4);
+  std::vector<node_id> ids;
+  for (int i = 0; i < 50; ++i) ids.push_back(static_cast<node_id>(r.next()));
+  ring_overlay ring(ids);
+  const auto ft = ring.fingers_of(ring.members().front());
+  ASSERT_EQ(ft.fingers.size(), 32u);
+  for (std::size_t k = 0; k < 32; ++k) {
+    const key_t target = static_cast<key_t>(
+        ft.owner + (static_cast<std::uint64_t>(1) << k));
+    EXPECT_EQ(ft.fingers[k], ring.successor_of(target)) << "finger " << k;
+  }
+}
+
+TEST(Overlay, LookupAlwaysLandsOnTheHome) {
+  rng r(9);
+  std::vector<node_id> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(static_cast<node_id>(r.next()));
+  ring_overlay ring(ids);
+  for (int trial = 0; trial < 500; ++trial) {
+    const key_t key = static_cast<key_t>(r.next());
+    const node_id from =
+        ring.members()[static_cast<std::size_t>(r.below(ring.size()))];
+    const auto res = ring.lookup(from, key);
+    EXPECT_EQ(res.home, ring.successor_of(key));
+    ASSERT_FALSE(res.path.empty());
+    EXPECT_EQ(res.path.front(), from);
+    EXPECT_EQ(res.path.back(), res.home);
+  }
+}
+
+TEST(Overlay, LookupHopsAreLogarithmic) {
+  rng r(13);
+  std::vector<node_id> ids;
+  for (int i = 0; i < 1024; ++i) ids.push_back(static_cast<node_id>(r.next()));
+  ring_overlay ring(ids);
+  std::size_t worst = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const key_t key = static_cast<key_t>(r.next());
+    const node_id from =
+        ring.members()[static_cast<std::size_t>(r.below(ring.size()))];
+    worst = std::max(worst, ring.lookup(from, key).hops());
+  }
+  // Chord: O(log n) hops; allow 2x slack over log2(1024) = 10.
+  EXPECT_LE(worst, 2 * ceil_log2(ring.size()));
+}
+
+TEST(Overlay, DeterministicFunctionOfCensus) {
+  // Two peers holding the same census must compute identical overlays —
+  // the property that makes the discovery census sufficient coordination.
+  std::vector<node_id> census{42, 7, 999, 100000, 5};
+  ring_overlay a(census);
+  std::reverse(census.begin(), census.end());
+  ring_overlay b(census);
+  EXPECT_EQ(a.members(), b.members());
+  EXPECT_EQ(a.fingers_of(42).fingers, b.fingers_of(42).fingers);
+}
+
+TEST(Overlay, EndToEndFromDiscoveryCensus) {
+  // The full pipeline: discovery -> leader census -> ring -> lookups.
+  const auto g = graph::random_weakly_connected(100, 150, 21);
+  sim::random_delay_scheduler sched(3);
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const node_id leader = run.leaders().front();
+  const auto& done = run.at(leader).done();
+  ring_overlay ring({done.begin(), done.end()});
+  EXPECT_EQ(ring.size(), 100u);
+  rng r(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const key_t key = static_cast<key_t>(r.next());
+    const auto res = ring.lookup(leader, key);
+    EXPECT_EQ(res.home, ring.successor_of(key));
+  }
+}
+
+TEST(Overlay, RebuildAfterDynamicJoin) {
+  const auto g = graph::random_weakly_connected(20, 20, 8);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = core::variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  run.probe(3);
+  run.net().run_to_quiescence();
+  ring_overlay ring(run.at(3).last_census()->ids);
+  EXPECT_EQ(ring.size(), 20u);
+
+  run.add_node_dynamic(500, {3});
+  run.run();
+  run.probe(3);
+  run.net().run_to_quiescence();
+  ring.rebuild(run.at(3).last_census()->ids);
+  EXPECT_EQ(ring.size(), 21u);
+  EXPECT_TRUE(ring.contains(500));
+}
+
+TEST(Overlay, EmptyRingBehaves) {
+  ring_overlay ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.successor_of(1), std::logic_error);
+  const auto res = ring.lookup(0, 1);
+  EXPECT_EQ(res.home, invalid_node);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,88 @@
+// Randomized blocking adversary sweeps: whole nodes freeze for arbitrary
+// stretches of the execution, then thaw one quiescence point at a time.
+// Every variant must stay correct under every such schedule — this is the
+// widest net the test suite casts over asynchronous interleavings.
+#include <gtest/gtest.h>
+
+#include "core/adversary.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+using core::variant;
+
+void run_with_freezes(const graph::digraph& g, variant algo,
+                      std::uint64_t seed, double fraction) {
+  core::random_staged_scheduler sched(seed, g.nodes(), fraction);
+  core::config cfg;
+  cfg.algo = algo;
+  core::discovery_run run(g, cfg, sched);
+  sched.arm(run.net());
+  run.wake_all();
+  const auto r = run.run();
+  ASSERT_TRUE(r.completed) << "event cap exceeded";
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << "seed " << seed << ":\n" << rep.to_string();
+}
+
+using param = std::tuple<int /*variant*/, std::uint64_t /*seed*/>;
+
+class FreezeSweep : public ::testing::TestWithParam<param> {};
+
+TEST_P(FreezeSweep, RandomGraphStaysCorrectUnderFreezes) {
+  const auto [vi, seed] = GetParam();
+  const auto algo = static_cast<variant>(vi);
+  const auto g = graph::random_weakly_connected(40, 80, seed * 7 + 1);
+  run_with_freezes(g, algo, seed, 0.35);
+}
+
+TEST_P(FreezeSweep, TreeStaysCorrectUnderFreezes) {
+  const auto [vi, seed] = GetParam();
+  const auto algo = static_cast<variant>(vi);
+  run_with_freezes(graph::directed_binary_tree(5), algo, seed, 0.5);
+}
+
+TEST_P(FreezeSweep, MultiComponentStaysCorrectUnderFreezes) {
+  const auto [vi, seed] = GetParam();
+  const auto algo = static_cast<variant>(vi);
+  run_with_freezes(graph::multi_component(3, 10, 5, seed), algo, seed, 0.4);
+}
+
+std::string freeze_param_name(const ::testing::TestParamInfo<param>& info) {
+  static const char* names[] = {"generic", "bounded", "adhoc"};
+  return std::string(names[std::get<0>(info.param)]) + "_s" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FreezeSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 4, 5, 6)),
+    freeze_param_name);
+
+TEST(FreezeAdversary, HeavyFreezeEverythingBlocked) {
+  // Extreme case: every node frozen; progress happens only through the
+  // staged thaw.  (fraction 1.0 blocks all senders.)
+  const auto g = graph::random_weakly_connected(20, 30, 5);
+  core::random_staged_scheduler sched(3, g.nodes(), 1.0);
+  EXPECT_EQ(sched.blocked_count(), 20u);
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  sched.arm(run.net());
+  run.wake_all();
+  ASSERT_TRUE(run.run().completed);
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(FreezeAdversary, ZeroFractionBlocksNobody) {
+  const auto g = graph::directed_path(6);
+  core::random_staged_scheduler sched(3, g.nodes(), 0.0);
+  EXPECT_EQ(sched.blocked_count(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncrd

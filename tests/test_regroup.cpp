@@ -1,0 +1,142 @@
+// Node removals (§7's open problem, treated as crash-stop + regroup; see
+// core/regroup.h).
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/regroup.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+using core::variant;
+
+TEST(Regroup, SurvivingKnowledgeIsRicherThanE0) {
+  // After discovery, survivors know far more than their initial edges:
+  // every member knows the leader, the leader knows everyone.
+  const auto g = graph::directed_path(10);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const auto sk = core::surviving_knowledge(run, {});
+  EXPECT_EQ(sk.node_count(), 10u);
+  EXPECT_GT(sk.edge_count(), g.edge_count());
+  EXPECT_TRUE(sk.is_weakly_connected());
+}
+
+TEST(Regroup, RemovingTheLeaderStillRegroups) {
+  const auto g = graph::random_weakly_connected(30, 40, 3);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const node_id old_leader = run.leaders().front();
+
+  sim::unit_delay_scheduler sched2;
+  auto after = core::regroup_after_removal(run, {old_leader}, cfg, sched2);
+  const auto survivors = core::surviving_knowledge(run, {old_leader});
+  const auto rep = core::check_final_state(*after, survivors);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(after->leaders().size(), 1u);
+  EXPECT_NE(after->leaders().front(), old_leader);
+  EXPECT_EQ(after->ids().size(), 29u);
+}
+
+TEST(Regroup, MassiveFailureStillRegroupsRemainder) {
+  // Kill two thirds of the system (the paper's "many of the nodes were
+  // reset or totally removed" scenario).
+  const auto g = graph::random_weakly_connected(60, 120, 9);
+  sim::random_delay_scheduler sched(4);
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+
+  std::set<node_id> removed;
+  for (node_id v = 0; v < 40; ++v) removed.insert(v);
+  sim::random_delay_scheduler sched2(5);
+  auto after = core::regroup_after_removal(run, removed, cfg, sched2);
+  const auto survivors = core::surviving_knowledge(run, removed);
+  const auto rep = core::check_final_state(*after, survivors);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(after->ids().size(), 20u);
+}
+
+TEST(Regroup, SurvivorsMayFragmentIntoComponents) {
+  // Removals can disconnect the survivors' knowledge graph; regroup then
+  // legitimately yields one leader per surviving component.
+  graph::digraph g;  // a path 0-1-2-3-4; removing 2 can split knowledge
+  for (node_id v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  // After full discovery everyone knows the leader, so survivors usually
+  // stay connected — the leader is the hub.  Remove leader AND node 2:
+  const node_id leader = run.leaders().front();
+  std::set<node_id> removed{leader, 2};
+  sim::unit_delay_scheduler sched2;
+  auto after = core::regroup_after_removal(run, removed, cfg, sched2);
+  const auto survivors = core::surviving_knowledge(run, removed);
+  const auto rep = core::check_final_state(*after, survivors);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(after->leaders().size(), survivors.weak_components().size());
+}
+
+TEST(Regroup, RegroupCostComparableToFreshDiscovery) {
+  const auto g = graph::random_weakly_connected(80, 120, 13);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+
+  std::set<node_id> removed;
+  for (node_id v = 0; v < 20; ++v) removed.insert(v);
+  sim::unit_delay_scheduler sched2;
+  auto after = core::regroup_after_removal(run, removed, cfg, sched2);
+  // Survivors' knowledge is denser than E0, but the regroup must stay in
+  // the same near-linear regime (O(n alpha) messages with our constants).
+  EXPECT_LE(after->statistics().total_messages(), 20u * 60u);
+}
+
+TEST(Regroup, ForestDotRendersLeadersAndPointers) {
+  const auto g = graph::directed_path(5);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  const std::string dot = core::forest_to_dot(run);
+  EXPECT_NE(dot.find("digraph discovery_forest"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the leader
+  // Every non-leader contributes one pointer edge.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1))
+    ++arrows;
+  EXPECT_EQ(arrows, 4u);
+}
+
+TEST(Regroup, EmptyRemovalIsAFreshRunOverLearnedKnowledge) {
+  const auto g = graph::star_out(12);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  run.run();
+  sim::unit_delay_scheduler sched2;
+  auto again = core::regroup_after_removal(run, {}, cfg, sched2);
+  EXPECT_EQ(again->leaders().size(), 1u);
+  EXPECT_EQ(again->ids().size(), 12u);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    EXPECT_LT(r.below(1), 1u);
+  }
+}
+
+TEST(Rng, BelowHitsAllResidues) {
+  rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2'000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = r.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  rng r(13);
+  int hits = 0;
+  const int trials = 40'000;
+  for (int i = 0; i < trials; ++i)
+    if (r.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  rng r(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  r.shuffle(w);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), w.begin()));
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  rng a(77);
+  rng b = a.fork();
+  // The fork must not replay the parent's stream.
+  rng a2(77);
+  a2.next();  // advance past the fork draw
+  EXPECT_NE(b.next(), a2.next());
+}
+
+}  // namespace
+}  // namespace asyncrd

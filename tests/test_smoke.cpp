@@ -1,0 +1,84 @@
+// End-to-end smoke tests: the three algorithm variants elect exactly one
+// leader that knows every id, across representative topologies.
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+using core::variant;
+
+void expect_correct(const graph::digraph& g, variant algo,
+                    std::uint64_t seed) {
+  sim::unit_delay_scheduler unit;
+  sim::random_delay_scheduler random(seed);
+  sim::scheduler& sched =
+      seed == 0 ? static_cast<sim::scheduler&>(unit)
+                : static_cast<sim::scheduler&>(random);
+  core::config cfg;
+  cfg.algo = algo;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  const sim::run_result r = run.run();
+  ASSERT_TRUE(r.completed) << "event cap hit";
+  const core::check_report rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(Smoke, SingleNode) {
+  graph::digraph g;
+  g.add_node(0);
+  expect_correct(g, variant::generic, 0);
+  expect_correct(g, variant::bounded, 0);
+  expect_correct(g, variant::adhoc, 0);
+}
+
+TEST(Smoke, TwoNodeEdge) {
+  graph::digraph g;
+  g.add_edge(0, 1);
+  expect_correct(g, variant::generic, 0);
+  expect_correct(g, variant::bounded, 0);
+  expect_correct(g, variant::adhoc, 0);
+}
+
+TEST(Smoke, TinyTree) {
+  expect_correct(graph::directed_binary_tree(2), variant::generic, 0);
+  expect_correct(graph::directed_binary_tree(3), variant::generic, 0);
+  expect_correct(graph::directed_binary_tree(3), variant::bounded, 0);
+  expect_correct(graph::directed_binary_tree(3), variant::adhoc, 0);
+}
+
+TEST(Smoke, Path) {
+  expect_correct(graph::directed_path(10), variant::generic, 1);
+  expect_correct(graph::directed_path(10), variant::bounded, 2);
+  expect_correct(graph::directed_path(10), variant::adhoc, 3);
+}
+
+TEST(Smoke, Stars) {
+  expect_correct(graph::star_out(12), variant::generic, 4);
+  expect_correct(graph::star_in(12), variant::generic, 5);
+  expect_correct(graph::star_out(12), variant::adhoc, 6);
+  expect_correct(graph::star_in(12), variant::bounded, 7);
+}
+
+TEST(Smoke, RandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = graph::random_weakly_connected(40, 80, seed);
+    expect_correct(g, variant::generic, seed);
+    expect_correct(g, variant::bounded, seed + 100);
+    expect_correct(g, variant::adhoc, seed + 200);
+  }
+}
+
+TEST(Smoke, MultiComponent) {
+  const auto g = graph::multi_component(3, 15, 10, 42);
+  expect_correct(g, variant::generic, 9);
+  expect_correct(g, variant::bounded, 10);
+  expect_correct(g, variant::adhoc, 11);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "core/messages.h"
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace asyncrd {
+namespace {
+
+using core::query_msg;
+using core::release_msg;
+using core::search_msg;
+
+TEST(Stats, RecordsCountsAndBits) {
+  sim::stats st;
+  st.set_id_bits(10);
+  const search_msg s(1, 1, 2, false);
+  st.record(s);
+  st.record(s);
+  // search: 2 id fields + 1 int field = 3 * 10 bits, + 1 flag + 4 header.
+  EXPECT_EQ(st.messages_of("search"), 2u);
+  EXPECT_EQ(st.bits_of("search"), 2u * (3 * 10 + 1 + 4));
+  EXPECT_EQ(st.total_messages(), 2u);
+  EXPECT_EQ(st.total_bits(), st.bits_of("search"));
+}
+
+TEST(Stats, UnknownTypeIsZero) {
+  sim::stats st;
+  EXPECT_EQ(st.messages_of("nonexistent"), 0u);
+  EXPECT_EQ(st.bits_of("nonexistent"), 0u);
+}
+
+TEST(Stats, MessagesOfAnySums) {
+  sim::stats st;
+  st.set_id_bits(8);
+  st.record(search_msg(1, 1, 2, false));
+  st.record(release_msg(3, 1, release_msg::answer_t::abort, 1));
+  st.record(release_msg(3, 1, release_msg::answer_t::merge, 1));
+  EXPECT_EQ(st.messages_of_any({"search", "release"}), 3u);
+  EXPECT_EQ(st.messages_of_any({"search"}), 1u);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  sim::stats st;
+  st.set_id_bits(8);
+  st.record(query_msg(5));
+  st.reset();
+  EXPECT_EQ(st.total_messages(), 0u);
+  EXPECT_EQ(st.total_bits(), 0u);
+  EXPECT_TRUE(st.by_type().empty());
+}
+
+TEST(MessageBits, QueryReplyScalesWithPayload) {
+  sim::stats st;
+  st.set_id_bits(16);
+  st.record(core::query_reply_msg({1, 2, 3}, true));
+  EXPECT_EQ(st.bits_of("query_reply"), 3u * 16 + 1 + 4);
+}
+
+TEST(MessageBits, InfoCountsAllFourSets) {
+  const core::info_msg m(2, {1, 2}, {3}, {4, 5, 6}, {7});
+  EXPECT_EQ(m.id_fields(), 7u);
+  EXPECT_EQ(m.int_fields(), 1u);
+  EXPECT_EQ(m.bits(10), (7 + 1) * 10 + 0 + 4u);
+}
+
+TEST(MessageBits, MergeFailIsConstantSize) {
+  const core::merge_fail_msg m;
+  EXPECT_EQ(m.bits(32), core::merge_fail_msg::header_bits);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  text_table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(10.0, 4.0, 1), "2.5");
+  EXPECT_EQ(fmt_ratio(1.0, 0.0), "n/a");
+}
+
+TEST(TextTable, CsvOutputPlain) {
+  text_table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvQuotesSpecialCells) {
+  text_table t({"name", "note"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "name,note\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(Topology, BinaryTreeShape) {
+  const auto g = graph::directed_binary_tree(4);  // T(4): 15 nodes
+  EXPECT_EQ(g.node_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(g.is_weakly_connected());
+  // Root has two children; leaves have none.
+  EXPECT_EQ(g.out(0).size(), 2u);
+  EXPECT_TRUE(g.out(14).empty());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(1, 4));
+}
+
+TEST(Topology, BinaryTreeRejectsZeroLevels) {
+  EXPECT_THROW(graph::directed_binary_tree(0), std::invalid_argument);
+}
+
+TEST(Topology, BinaryTreePostorderChildrenBeforeParents) {
+  const std::size_t levels = 5;
+  const auto order = graph::binary_tree_internal_postorder(levels);
+  const std::size_t n = (std::size_t{1} << levels) - 1;
+  // Internal nodes only: ids with at least one child.
+  EXPECT_EQ(order.size(), n / 2);  // 2^(levels-1) - 1 internal nodes
+  std::map<node_id, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const node_id v : order) {
+    const std::size_t left = 2 * static_cast<std::size_t>(v) + 1;
+    const std::size_t right = left + 1;
+    if (pos.contains(static_cast<node_id>(left)))
+      EXPECT_LT(pos[static_cast<node_id>(left)], pos[v]);
+    if (pos.contains(static_cast<node_id>(right)))
+      EXPECT_LT(pos[static_cast<node_id>(right)], pos[v]);
+  }
+  // The root is released last.
+  EXPECT_EQ(order.back(), 0u);
+}
+
+TEST(Topology, PathAndStars) {
+  const auto p = graph::directed_path(8);
+  EXPECT_EQ(p.node_count(), 8u);
+  EXPECT_EQ(p.edge_count(), 7u);
+  EXPECT_TRUE(p.has_edge(3, 4));
+  EXPECT_FALSE(p.has_edge(4, 3));
+
+  const auto so = graph::star_out(6);
+  EXPECT_EQ(so.edge_count(), 5u);
+  EXPECT_EQ(so.out(0).size(), 5u);
+
+  const auto si = graph::star_in(6);
+  EXPECT_EQ(si.edge_count(), 5u);
+  EXPECT_TRUE(si.out(0).empty());
+  EXPECT_TRUE(si.has_edge(3, 0));
+}
+
+TEST(Topology, CliqueAndRing) {
+  const auto c = graph::clique(5);
+  EXPECT_EQ(c.edge_count(), 20u);
+  EXPECT_TRUE(c.is_strongly_connected());
+
+  const auto r = graph::ring(5);
+  EXPECT_TRUE(r.is_strongly_connected());
+  EXPECT_EQ(r.edge_count(), 10u);  // bidirectional
+}
+
+TEST(Topology, RandomWeaklyConnectedInvariants) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g = graph::random_weakly_connected(60, 40, seed);
+    EXPECT_EQ(g.node_count(), 60u);
+    EXPECT_TRUE(g.is_weakly_connected()) << "seed " << seed;
+    EXPECT_GE(g.edge_count(), 59u);
+    EXPECT_LE(g.edge_count(), 99u);
+  }
+}
+
+TEST(Topology, RandomWeaklyConnectedDeterministicPerSeed) {
+  const auto a = graph::random_weakly_connected(40, 30, 7);
+  const auto b = graph::random_weakly_connected(40, 30, 7);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (const node_id v : a.nodes()) EXPECT_EQ(a.out(v), b.out(v));
+}
+
+TEST(Topology, ErdosRenyiRepairsConnectivity) {
+  // p = 0: pure repair chain; still weakly connected.
+  const auto g0 = graph::erdos_renyi_connected(30, 0.0, 3);
+  EXPECT_TRUE(g0.is_weakly_connected());
+  const auto g1 = graph::erdos_renyi_connected(30, 0.1, 3);
+  EXPECT_TRUE(g1.is_weakly_connected());
+  EXPECT_GT(g1.edge_count(), g0.edge_count());
+}
+
+TEST(Topology, PreferentialAttachmentConnectedAndSized) {
+  const auto g = graph::preferential_attachment(50, 2, 11);
+  EXPECT_EQ(g.node_count(), 50u);
+  EXPECT_TRUE(g.is_weakly_connected());
+  // Node i >= 2 links to exactly 2 earlier nodes.
+  EXPECT_GE(g.edge_count(), 49u);
+}
+
+TEST(Topology, MultiComponentHasExactlyParts) {
+  const auto g = graph::multi_component(4, 10, 5, 9);
+  EXPECT_EQ(g.node_count(), 40u);
+  EXPECT_EQ(g.weak_components().size(), 4u);
+  for (const auto& comp : g.weak_components()) EXPECT_EQ(comp.size(), 10u);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,79 @@
+// Figure 1 validation machinery: the transition recorder and the legal
+// transition relation.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/trace.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+using core::status_t;
+using core::transition_recorder;
+
+TEST(Trace, RecordsMultiplicities) {
+  transition_recorder rec;
+  rec.on_transition(1, status_t::asleep, status_t::explore);
+  rec.on_transition(2, status_t::asleep, status_t::explore);
+  rec.on_transition(1, status_t::explore, status_t::wait);
+  EXPECT_EQ(rec.total(), 3u);
+  EXPECT_EQ(rec.edges().at({status_t::asleep, status_t::explore}), 2u);
+}
+
+TEST(Trace, LegalEdgeSetMatchesFigure1) {
+  const auto& legal = transition_recorder::legal_edges();
+  // Spot-check the diagram's arrows.
+  EXPECT_TRUE(legal.contains({status_t::explore, status_t::wait}));
+  EXPECT_TRUE(legal.contains({status_t::wait, status_t::conquered}));
+  EXPECT_TRUE(legal.contains({status_t::wait, status_t::conqueror}));
+  EXPECT_TRUE(legal.contains({status_t::wait, status_t::passive}));
+  EXPECT_TRUE(legal.contains({status_t::conquered, status_t::inactive}));
+  EXPECT_TRUE(legal.contains({status_t::conquered, status_t::passive}));
+  EXPECT_TRUE(legal.contains({status_t::conqueror, status_t::explore}));
+  EXPECT_TRUE(legal.contains({status_t::passive, status_t::conquered}));
+  // Arrows that must NOT exist.
+  EXPECT_FALSE(legal.contains({status_t::inactive, status_t::explore}));
+  EXPECT_FALSE(legal.contains({status_t::passive, status_t::explore}));
+  EXPECT_FALSE(legal.contains({status_t::inactive, status_t::wait}));
+  EXPECT_FALSE(legal.contains({status_t::terminated, status_t::explore}));
+  EXPECT_FALSE(legal.contains({status_t::conqueror, status_t::terminated}));
+}
+
+TEST(Trace, IllegalEdgesFlagged) {
+  transition_recorder rec;
+  rec.on_transition(1, status_t::inactive, status_t::explore);  // impossible
+  ASSERT_EQ(rec.illegal_edges().size(), 1u);
+  EXPECT_EQ(core::edge_to_string(rec.illegal_edges().front()),
+            "inactive -> explore");
+}
+
+TEST(Trace, RealExecutionsStayWithinFigure1) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    transition_recorder rec;
+    const auto g = graph::random_weakly_connected(40, 60, seed);
+    core::run_discovery(g, core::variant::generic, seed, &rec);
+    EXPECT_TRUE(rec.illegal_edges().empty()) << "seed " << seed;
+    EXPECT_GT(rec.total(), 40u);  // every node at least woke up
+  }
+}
+
+TEST(Trace, StatusToString) {
+  EXPECT_EQ(core::to_string(status_t::explore), "explore");
+  EXPECT_EQ(core::to_string(status_t::terminated), "terminated");
+  EXPECT_EQ(core::to_string(core::variant::adhoc), "adhoc");
+}
+
+TEST(Trace, LeaderStatusClassification) {
+  EXPECT_TRUE(core::is_leader_status(status_t::explore));
+  EXPECT_TRUE(core::is_leader_status(status_t::wait));
+  EXPECT_TRUE(core::is_leader_status(status_t::conqueror));
+  EXPECT_TRUE(core::is_leader_status(status_t::terminated));
+  EXPECT_TRUE(core::is_leader_status(status_t::asleep));
+  EXPECT_FALSE(core::is_leader_status(status_t::passive));
+  EXPECT_FALSE(core::is_leader_status(status_t::conquered));
+  EXPECT_FALSE(core::is_leader_status(status_t::inactive));
+}
+
+}  // namespace
+}  // namespace asyncrd

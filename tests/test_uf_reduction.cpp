@@ -1,0 +1,88 @@
+// Lemma 3.1: the Union-Find reduction.  The distributed Ad-hoc execution,
+// driven by the lemma's wake-up sequence, must behave exactly like a
+// sequential Union-Find structure.
+#include <gtest/gtest.h>
+
+#include "core/uf_reduction.h"
+#include "graph/topology.h"
+#include "unionfind/ackermann.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(UfReduction, NetworkSizeMatchesLemma) {
+  // n sets, n-1 unions, m finds -> 2n - 1 + m nodes.
+  const std::size_t n = 16, finds = 10;
+  const auto sched = uf::random_schedule(n, finds, 3);
+  core::uf_reduction red(n, sched);
+  EXPECT_EQ(red.network_size(), 2 * n - 1 + finds);
+}
+
+TEST(UfReduction, SingleUnion) {
+  std::vector<uf::uf_op> ops{{uf::uf_op::kind::unite, 0, 1}};
+  core::uf_reduction red(2, ops);
+  EXPECT_TRUE(red.execute()) << red.errors().front();
+  EXPECT_EQ(red.leader_of(0), red.leader_of(1));
+}
+
+TEST(UfReduction, FindsReachTheLeader) {
+  std::vector<uf::uf_op> ops{
+      {uf::uf_op::kind::unite, 0, 1},
+      {uf::uf_op::kind::find, 0, 0},
+      {uf::uf_op::kind::unite, 1, 2},
+      {uf::uf_op::kind::find, 2, 0},
+  };
+  core::uf_reduction red(3, ops);
+  EXPECT_TRUE(red.execute()) << (red.errors().empty() ? "" : red.errors().front());
+}
+
+class UfReductionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(UfReductionSweep, AgreesWithSequentialUnionFind) {
+  const auto [n, seed] = GetParam();
+  const auto sched = uf::random_schedule(n, n, seed);
+  core::uf_reduction red(n, sched);
+  EXPECT_TRUE(red.execute())
+      << (red.errors().empty() ? "" : red.errors().front());
+  // After all n-1 unions every set shares one leader.
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_EQ(red.leader_of(0), red.leader_of(i)) << "set " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UfReductionSweep,
+    ::testing::Combine(::testing::Values(4, 12, 32, 64),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, std::uint64_t>>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(UfReduction, AdversarialScheduleStaysNearLinear) {
+  // Theorem 2 / 6 sandwich: message count is Omega(N alpha) and O(N alpha)
+  // for N = network size; audit the upper envelope with a generous constant.
+  const std::size_t n = 128;
+  const auto sched = uf::adversarial_schedule(n, n);
+  core::uf_reduction red(n, sched);
+  ASSERT_TRUE(red.execute())
+      << (red.errors().empty() ? "" : red.errors().front());
+  const auto total = red.statistics().total_messages();
+  const double big_n = static_cast<double>(red.network_size());
+  const double alpha = uf::inverse_ackermann(red.network_size(),
+                                             red.network_size());
+  EXPECT_LE(static_cast<double>(total), 16.0 * big_n * alpha);
+  EXPECT_GE(total, red.network_size() - 1);  // someone must talk to everyone
+}
+
+TEST(UfReduction, GenericVariantAlsoPassesTheWorkload) {
+  const std::size_t n = 24;
+  const auto sched = uf::random_schedule(n, n / 2, 9);
+  core::uf_reduction red(n, sched, core::variant::generic);
+  EXPECT_TRUE(red.execute())
+      << (red.errors().empty() ? "" : red.errors().front());
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,115 @@
+// Shared helpers for the algorithm test suites: run one execution with full
+// instrumentation (final-state checker, Lemma 5.1 liveness monitor, Figure 1
+// transition recorder, knowledge-graph discipline audit) and assert all of
+// it inside gtest.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/checker.h"
+#include "core/runner.h"
+#include "core/trace.h"
+#include "graph/digraph.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace asyncrd::testing {
+
+/// Audits the knowledge-graph discipline: every send must target a node the
+/// sender has already learned about.  Chained behind the liveness monitor.
+class knowledge_audit final : public sim::observer {
+ public:
+  knowledge_audit(const core::discovery_run& run, sim::observer* chain)
+      : run_(&run), chain_(chain) {}
+
+  void on_send(sim::sim_time t, node_id from, node_id to,
+               const sim::message& m) override {
+    if (!run_->at(from).knows_id(to)) {
+      ++violations_;
+      if (detail_.empty())
+        detail_ = std::to_string(from) + " -> " + std::to_string(to) + " (" +
+                  std::string(m.type_name()) + ")";
+    }
+    if (chain_ != nullptr) chain_->on_send(t, from, to, m);
+  }
+  const std::string& first_violation() const noexcept { return detail_; }
+  void on_deliver(sim::sim_time t, node_id from, node_id to,
+                  const sim::message& m) override {
+    if (chain_ != nullptr) chain_->on_deliver(t, from, to, m);
+  }
+  void on_wake(sim::sim_time t, node_id v) override {
+    if (chain_ != nullptr) chain_->on_wake(t, v);
+  }
+
+  int violations() const noexcept { return violations_; }
+
+ private:
+  const core::discovery_run* run_;
+  sim::observer* chain_;
+  int violations_ = 0;
+  std::string detail_;
+};
+
+struct instrumented_result {
+  core::run_summary summary;
+  core::transition_recorder transitions;
+};
+
+/// Runs `algo` on `g` with every monitor armed; any violation fails the
+/// current gtest assertion context.  Returns the summary for further checks.
+inline instrumented_result run_instrumented(const graph::digraph& g,
+                                            core::variant algo,
+                                            std::uint64_t seed,
+                                            bool check_bounds = true) {
+  instrumented_result out;
+
+  std::unique_ptr<sim::scheduler> sched;
+  if (seed == 0)
+    sched = std::make_unique<sim::unit_delay_scheduler>();
+  else
+    sched = std::make_unique<sim::random_delay_scheduler>(seed);
+
+  core::config cfg;
+  cfg.algo = algo;
+  cfg.trace = &out.transitions;
+  core::discovery_run run(g, cfg, *sched);
+
+  core::liveness_monitor live(run, g.weak_components());
+  core::structure_monitor structure(run, &live);
+  knowledge_audit audit(run, &structure);
+  run.net().set_observer(&audit);
+
+  run.wake_all();
+  const sim::run_result r = run.run();
+  EXPECT_TRUE(r.completed) << "event cap exceeded";
+
+  const core::check_report rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_TRUE(live.ok()) << live.violations().front();
+  EXPECT_TRUE(structure.ok()) << structure.violations().front();
+  EXPECT_EQ(audit.violations(), 0)
+      << "knowledge-graph discipline violated: " << audit.first_violation();
+  EXPECT_TRUE(out.transitions.illegal_edges().empty())
+      << "illegal state transition: "
+      << core::edge_to_string(out.transitions.illegal_edges().front());
+
+  if (check_bounds) {
+    for (const auto& row :
+         core::check_message_bounds(run.statistics(), g.node_count(), algo)) {
+      EXPECT_TRUE(row.ok()) << row.name << ": measured " << row.measured
+                            << " > cap " << row.cap;
+    }
+  }
+
+  out.summary.messages = run.statistics().total_messages();
+  out.summary.bits = run.statistics().total_bits();
+  out.summary.events = r.events_processed;
+  out.summary.leaders = run.leaders();
+  out.summary.completed = r.completed;
+  return out;
+}
+
+}  // namespace asyncrd::testing

@@ -1,0 +1,116 @@
+// The wake-up model (§1.2): "There is no global initialization time; nodes
+// begin asynchronously and may wake-up nearby neighbors.  Thus the wake-up
+// time complexity is Ω(n)."
+//
+// These tests pin the model's reachability semantics: messages wake their
+// receivers, so a single explicit wake cascades along knowledge edges —
+// but only along them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/adversary.h"
+#include "core/checker.h"
+#include "core/runner.h"
+#include "graph/topology.h"
+
+namespace asyncrd {
+namespace {
+
+TEST(WakeupModel, SingleWakeCascadesAlongOutEdges) {
+  // star_out: the center knows everyone; waking only the center must wake
+  // (and fully discover) the entire component.
+  const auto g = graph::star_out(15);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.net().wake(0);
+  run.run();
+  for (const node_id v : run.ids()) EXPECT_TRUE(run.net().is_awake(v));
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(WakeupModel, SingleWakeCannotReachUnknownNodes) {
+  // star_in: leaves know the center but nobody knows the leaves.  Waking
+  // one leaf reaches the center, but the other leaves stay asleep — the
+  // model's liveness property is conditioned on "when all nodes are
+  // awake" precisely because of executions like this.
+  const auto g = graph::star_in(10);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.net().wake(1);
+  run.run();
+  EXPECT_TRUE(run.net().is_awake(1));
+  EXPECT_TRUE(run.net().is_awake(0));  // woken by 1's search
+  for (node_id v = 2; v < 10; ++v)
+    EXPECT_FALSE(run.net().is_awake(v)) << "node " << v;
+
+  // Waking the stragglers completes discovery normally.
+  for (node_id v = 2; v < 10; ++v) run.net().wake(v);
+  run.run();
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(WakeupModel, PathWakeCascadeTakesLinearTime) {
+  // Wake only the head of a directed path: the cascade must traverse all n
+  // hops, so quiescence time grows linearly — the Ω(n) wake-up bound.
+  const auto t = [](std::size_t n) {
+    const auto g = graph::directed_path(n);
+    sim::unit_delay_scheduler sched;
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.net().wake(0);
+    run.run();
+    // The path points away from 0, so the cascade reaches everyone.
+    for (const node_id v : run.net().node_ids())
+      EXPECT_TRUE(run.net().is_awake(v)) << v;
+    return run.net().now();
+  };
+  const auto t32 = t(32);
+  const auto t128 = t(128);
+  EXPECT_GE(t128, 3 * t32);  // superlinear in no case; ~4x expected
+}
+
+TEST(WakeupModel, LateWakersJoinCleanly) {
+  // Half the nodes wake at t=0, the rest only after the first half has
+  // fully quiesced; the final state must still satisfy the spec.
+  const auto g = graph::random_weakly_connected(30, 45, 6);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  const auto ids = run.ids();
+  for (std::size_t i = 0; i < ids.size() / 2; ++i) run.net().wake(ids[i]);
+  run.run();
+  for (std::size_t i = ids.size() / 2; i < ids.size(); ++i)
+    if (!run.net().is_awake(ids[i])) run.net().wake(ids[i]);
+  run.run();
+  const auto rep = core::check_final_state(run, g);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(WakeupModel, EveryPermutationOfAFixedSmallGraphConverges) {
+  // Exhaustive wake-order sweep on a 5-node graph: all 120 permutations.
+  graph::digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 3);
+  std::vector<node_id> order{0, 1, 2, 3, 4};
+  do {
+    core::sequential_wakeup_scheduler sched(order);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.net().wake(order.front());
+    run.run();
+    const auto rep = core::check_final_state(run, g);
+    ASSERT_TRUE(rep.ok()) << "order " << order[0] << order[1] << order[2]
+                          << order[3] << order[4] << ":\n"
+                          << rep.to_string();
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace asyncrd
