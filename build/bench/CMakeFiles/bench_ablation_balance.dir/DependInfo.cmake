@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_balance.cpp" "bench/CMakeFiles/bench_ablation_balance.dir/bench_ablation_balance.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_balance.dir/bench_ablation_balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asyncrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/asyncrd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/asyncrd_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/asyncrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/unionfind/CMakeFiles/asyncrd_unionfind.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asyncrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

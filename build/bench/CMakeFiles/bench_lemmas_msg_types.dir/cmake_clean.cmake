@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemmas_msg_types.dir/bench_lemmas_msg_types.cpp.o"
+  "CMakeFiles/bench_lemmas_msg_types.dir/bench_lemmas_msg_types.cpp.o.d"
+  "bench_lemmas_msg_types"
+  "bench_lemmas_msg_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemmas_msg_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pointer_paths.dir/bench_pointer_paths.cpp.o"
+  "CMakeFiles/bench_pointer_paths.dir/bench_pointer_paths.cpp.o.d"
+  "bench_pointer_paths"
+  "bench_pointer_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pointer_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_oblivious_lb.dir/bench_thm1_oblivious_lb.cpp.o"
+  "CMakeFiles/bench_thm1_oblivious_lb.dir/bench_thm1_oblivious_lb.cpp.o.d"
+  "bench_thm1_oblivious_lb"
+  "bench_thm1_oblivious_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_oblivious_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

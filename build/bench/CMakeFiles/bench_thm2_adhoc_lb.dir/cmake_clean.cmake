@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_adhoc_lb.dir/bench_thm2_adhoc_lb.cpp.o"
+  "CMakeFiles/bench_thm2_adhoc_lb.dir/bench_thm2_adhoc_lb.cpp.o.d"
+  "bench_thm2_adhoc_lb"
+  "bench_thm2_adhoc_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_adhoc_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

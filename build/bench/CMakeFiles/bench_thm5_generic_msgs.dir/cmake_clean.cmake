@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_generic_msgs.dir/bench_thm5_generic_msgs.cpp.o"
+  "CMakeFiles/bench_thm5_generic_msgs.dir/bench_thm5_generic_msgs.cpp.o.d"
+  "bench_thm5_generic_msgs"
+  "bench_thm5_generic_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_generic_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm5_generic_msgs.
+# This may be replaced when dependencies are built.

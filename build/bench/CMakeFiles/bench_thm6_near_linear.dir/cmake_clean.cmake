@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_near_linear.dir/bench_thm6_near_linear.cpp.o"
+  "CMakeFiles/bench_thm6_near_linear.dir/bench_thm6_near_linear.cpp.o.d"
+  "bench_thm6_near_linear"
+  "bench_thm6_near_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_near_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

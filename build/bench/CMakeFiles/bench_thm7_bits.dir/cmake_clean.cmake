@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm7_bits.dir/bench_thm7_bits.cpp.o"
+  "CMakeFiles/bench_thm7_bits.dir/bench_thm7_bits.cpp.o.d"
+  "bench_thm7_bits"
+  "bench_thm7_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm7_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm8_dynamic.dir/bench_thm8_dynamic.cpp.o"
+  "CMakeFiles/bench_thm8_dynamic.dir/bench_thm8_dynamic.cpp.o.d"
+  "bench_thm8_dynamic"
+  "bench_thm8_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm8_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_cli.dir/discovery_cli.cpp.o"
+  "CMakeFiles/discovery_cli.dir/discovery_cli.cpp.o.d"
+  "discovery_cli"
+  "discovery_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

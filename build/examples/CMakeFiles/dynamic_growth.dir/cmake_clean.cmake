@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_growth.dir/dynamic_growth.cpp.o"
+  "CMakeFiles/dynamic_growth.dir/dynamic_growth.cpp.o.d"
+  "dynamic_growth"
+  "dynamic_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_repair.dir/network_repair.cpp.o"
+  "CMakeFiles/network_repair.dir/network_repair.cpp.o.d"
+  "network_repair"
+  "network_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

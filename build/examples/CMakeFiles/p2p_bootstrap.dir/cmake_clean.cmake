@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_bootstrap.dir/p2p_bootstrap.cpp.o"
+  "CMakeFiles/p2p_bootstrap.dir/p2p_bootstrap.cpp.o.d"
+  "p2p_bootstrap"
+  "p2p_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/absorption.cpp" "src/baselines/CMakeFiles/asyncrd_baselines.dir/absorption.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncrd_baselines.dir/absorption.cpp.o.d"
+  "/root/repo/src/baselines/dfs_election.cpp" "src/baselines/CMakeFiles/asyncrd_baselines.dir/dfs_election.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncrd_baselines.dir/dfs_election.cpp.o.d"
+  "/root/repo/src/baselines/flooding.cpp" "src/baselines/CMakeFiles/asyncrd_baselines.dir/flooding.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncrd_baselines.dir/flooding.cpp.o.d"
+  "/root/repo/src/baselines/name_dropper.cpp" "src/baselines/CMakeFiles/asyncrd_baselines.dir/name_dropper.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncrd_baselines.dir/name_dropper.cpp.o.d"
+  "/root/repo/src/baselines/pointer_doubling.cpp" "src/baselines/CMakeFiles/asyncrd_baselines.dir/pointer_doubling.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncrd_baselines.dir/pointer_doubling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asyncrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/asyncrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/unionfind/CMakeFiles/asyncrd_unionfind.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_baselines.dir/absorption.cpp.o"
+  "CMakeFiles/asyncrd_baselines.dir/absorption.cpp.o.d"
+  "CMakeFiles/asyncrd_baselines.dir/dfs_election.cpp.o"
+  "CMakeFiles/asyncrd_baselines.dir/dfs_election.cpp.o.d"
+  "CMakeFiles/asyncrd_baselines.dir/flooding.cpp.o"
+  "CMakeFiles/asyncrd_baselines.dir/flooding.cpp.o.d"
+  "CMakeFiles/asyncrd_baselines.dir/name_dropper.cpp.o"
+  "CMakeFiles/asyncrd_baselines.dir/name_dropper.cpp.o.d"
+  "CMakeFiles/asyncrd_baselines.dir/pointer_doubling.cpp.o"
+  "CMakeFiles/asyncrd_baselines.dir/pointer_doubling.cpp.o.d"
+  "libasyncrd_baselines.a"
+  "libasyncrd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

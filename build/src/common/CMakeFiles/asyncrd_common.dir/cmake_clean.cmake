@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_common.dir/bitmath.cpp.o"
+  "CMakeFiles/asyncrd_common.dir/bitmath.cpp.o.d"
+  "CMakeFiles/asyncrd_common.dir/rng.cpp.o"
+  "CMakeFiles/asyncrd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/asyncrd_common.dir/table.cpp.o"
+  "CMakeFiles/asyncrd_common.dir/table.cpp.o.d"
+  "libasyncrd_common.a"
+  "libasyncrd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/core/CMakeFiles/asyncrd_core.dir/adversary.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/core/CMakeFiles/asyncrd_core.dir/checker.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/checker.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/asyncrd_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/regroup.cpp" "src/core/CMakeFiles/asyncrd_core.dir/regroup.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/regroup.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/asyncrd_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/asyncrd_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/uf_reduction.cpp" "src/core/CMakeFiles/asyncrd_core.dir/uf_reduction.cpp.o" "gcc" "src/core/CMakeFiles/asyncrd_core.dir/uf_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asyncrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/asyncrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/unionfind/CMakeFiles/asyncrd_unionfind.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

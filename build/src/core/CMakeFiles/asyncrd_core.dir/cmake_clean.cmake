@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_core.dir/adversary.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/adversary.cpp.o.d"
+  "CMakeFiles/asyncrd_core.dir/checker.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/checker.cpp.o.d"
+  "CMakeFiles/asyncrd_core.dir/node.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/node.cpp.o.d"
+  "CMakeFiles/asyncrd_core.dir/regroup.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/regroup.cpp.o.d"
+  "CMakeFiles/asyncrd_core.dir/runner.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/runner.cpp.o.d"
+  "CMakeFiles/asyncrd_core.dir/trace.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/trace.cpp.o.d"
+  "CMakeFiles/asyncrd_core.dir/uf_reduction.cpp.o"
+  "CMakeFiles/asyncrd_core.dir/uf_reduction.cpp.o.d"
+  "libasyncrd_core.a"
+  "libasyncrd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/asyncrd_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/asyncrd_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/graphio.cpp" "src/graph/CMakeFiles/asyncrd_graph.dir/graphio.cpp.o" "gcc" "src/graph/CMakeFiles/asyncrd_graph.dir/graphio.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "src/graph/CMakeFiles/asyncrd_graph.dir/topology.cpp.o" "gcc" "src/graph/CMakeFiles/asyncrd_graph.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asyncrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

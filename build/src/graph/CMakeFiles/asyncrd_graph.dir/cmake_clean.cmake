@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_graph.dir/digraph.cpp.o"
+  "CMakeFiles/asyncrd_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/asyncrd_graph.dir/graphio.cpp.o"
+  "CMakeFiles/asyncrd_graph.dir/graphio.cpp.o.d"
+  "CMakeFiles/asyncrd_graph.dir/topology.cpp.o"
+  "CMakeFiles/asyncrd_graph.dir/topology.cpp.o.d"
+  "libasyncrd_graph.a"
+  "libasyncrd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_overlay.dir/dht.cpp.o"
+  "CMakeFiles/asyncrd_overlay.dir/dht.cpp.o.d"
+  "CMakeFiles/asyncrd_overlay.dir/ring.cpp.o"
+  "CMakeFiles/asyncrd_overlay.dir/ring.cpp.o.d"
+  "libasyncrd_overlay.a"
+  "libasyncrd_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_log.cpp" "src/sim/CMakeFiles/asyncrd_sim.dir/event_log.cpp.o" "gcc" "src/sim/CMakeFiles/asyncrd_sim.dir/event_log.cpp.o.d"
+  "/root/repo/src/sim/explore.cpp" "src/sim/CMakeFiles/asyncrd_sim.dir/explore.cpp.o" "gcc" "src/sim/CMakeFiles/asyncrd_sim.dir/explore.cpp.o.d"
+  "/root/repo/src/sim/load_observer.cpp" "src/sim/CMakeFiles/asyncrd_sim.dir/load_observer.cpp.o" "gcc" "src/sim/CMakeFiles/asyncrd_sim.dir/load_observer.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/asyncrd_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/asyncrd_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/asyncrd_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/asyncrd_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/asyncrd_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/asyncrd_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asyncrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_sim.dir/event_log.cpp.o"
+  "CMakeFiles/asyncrd_sim.dir/event_log.cpp.o.d"
+  "CMakeFiles/asyncrd_sim.dir/explore.cpp.o"
+  "CMakeFiles/asyncrd_sim.dir/explore.cpp.o.d"
+  "CMakeFiles/asyncrd_sim.dir/load_observer.cpp.o"
+  "CMakeFiles/asyncrd_sim.dir/load_observer.cpp.o.d"
+  "CMakeFiles/asyncrd_sim.dir/network.cpp.o"
+  "CMakeFiles/asyncrd_sim.dir/network.cpp.o.d"
+  "CMakeFiles/asyncrd_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/asyncrd_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/asyncrd_sim.dir/stats.cpp.o"
+  "CMakeFiles/asyncrd_sim.dir/stats.cpp.o.d"
+  "libasyncrd_sim.a"
+  "libasyncrd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncrd_unionfind.dir/ackermann.cpp.o"
+  "CMakeFiles/asyncrd_unionfind.dir/ackermann.cpp.o.d"
+  "CMakeFiles/asyncrd_unionfind.dir/dsu.cpp.o"
+  "CMakeFiles/asyncrd_unionfind.dir/dsu.cpp.o.d"
+  "libasyncrd_unionfind.a"
+  "libasyncrd_unionfind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncrd_unionfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

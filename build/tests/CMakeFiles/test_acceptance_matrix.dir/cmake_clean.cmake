@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acceptance_matrix.dir/test_acceptance_matrix.cpp.o"
+  "CMakeFiles/test_acceptance_matrix.dir/test_acceptance_matrix.cpp.o.d"
+  "test_acceptance_matrix"
+  "test_acceptance_matrix.pdb"
+  "test_acceptance_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acceptance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

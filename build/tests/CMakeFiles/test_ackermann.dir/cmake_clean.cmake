@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ackermann.dir/test_ackermann.cpp.o"
+  "CMakeFiles/test_ackermann.dir/test_ackermann.cpp.o.d"
+  "test_ackermann"
+  "test_ackermann.pdb"
+  "test_ackermann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ackermann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitmath.dir/test_bitmath.cpp.o"
+  "CMakeFiles/test_bitmath.dir/test_bitmath.cpp.o.d"
+  "test_bitmath"
+  "test_bitmath.pdb"
+  "test_bitmath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

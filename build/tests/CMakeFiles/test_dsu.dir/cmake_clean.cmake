@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsu.dir/test_dsu.cpp.o"
+  "CMakeFiles/test_dsu.dir/test_dsu.cpp.o.d"
+  "test_dsu"
+  "test_dsu.pdb"
+  "test_dsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig1_coverage.dir/test_fig1_coverage.cpp.o"
+  "CMakeFiles/test_fig1_coverage.dir/test_fig1_coverage.cpp.o.d"
+  "test_fig1_coverage"
+  "test_fig1_coverage.pdb"
+  "test_fig1_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig1_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

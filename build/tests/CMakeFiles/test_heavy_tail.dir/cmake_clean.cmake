@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heavy_tail.dir/test_heavy_tail.cpp.o"
+  "CMakeFiles/test_heavy_tail.dir/test_heavy_tail.cpp.o.d"
+  "test_heavy_tail"
+  "test_heavy_tail.pdb"
+  "test_heavy_tail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heavy_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

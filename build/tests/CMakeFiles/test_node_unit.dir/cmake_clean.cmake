@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_unit.dir/test_node_unit.cpp.o"
+  "CMakeFiles/test_node_unit.dir/test_node_unit.cpp.o.d"
+  "test_node_unit"
+  "test_node_unit.pdb"
+  "test_node_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_adversary.dir/test_random_adversary.cpp.o"
+  "CMakeFiles/test_random_adversary.dir/test_random_adversary.cpp.o.d"
+  "test_random_adversary"
+  "test_random_adversary.pdb"
+  "test_random_adversary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

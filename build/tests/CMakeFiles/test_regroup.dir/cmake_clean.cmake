@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regroup.dir/test_regroup.cpp.o"
+  "CMakeFiles/test_regroup.dir/test_regroup.cpp.o.d"
+  "test_regroup"
+  "test_regroup.pdb"
+  "test_regroup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_soak.dir/test_scale_soak.cpp.o"
+  "CMakeFiles/test_scale_soak.dir/test_scale_soak.cpp.o.d"
+  "test_scale_soak"
+  "test_scale_soak.pdb"
+  "test_scale_soak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
