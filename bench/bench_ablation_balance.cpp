@@ -14,6 +14,7 @@
 // info message up the conquest chain).
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/checker.h"
@@ -52,9 +53,11 @@ measurement run_one(const asyncrd::graph::digraph& g, bool balanced) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Ablation: balanced queries (bit complexity vs [3]) ==\n\n";
+
+  bench::reporter rep("ablation_balance", argc, argv);
 
   text_table t({"n", "|E0|", "bits (balanced)", "bits (drain-all)",
                 "saving", "info bits bal", "info bits drain"});
@@ -64,6 +67,13 @@ int main() {
           graph::random_weakly_connected(n, density * n, 17 + n + density);
       const auto bal = run_one(g, true);
       const auto drain = run_one(g, false);
+      const double dn = static_cast<double>(n);
+      const double lg = static_cast<double>(ceil_log2(n));
+      const double e0 = static_cast<double>(g.edge_count());
+      rep.add("balanced/d=" + std::to_string(density), dn,
+              static_cast<double>(bal.total_bits), e0 * lg + dn * lg * lg);
+      rep.add("drain_all/d=" + std::to_string(density), dn,
+              static_cast<double>(drain.total_bits), e0 * lg * lg);
       t.add_row({std::to_string(n), std::to_string(g.edge_count()),
                  std::to_string(bal.total_bits),
                  std::to_string(drain.total_bits),
@@ -78,5 +88,5 @@ int main() {
                " grow with edge density (the 'saving' column increases\n"
                "left to right within each n), driven by the info-message"
                " payloads that the balance keeps at O(n log^2 n) total.\n";
-  return 0;
+  return rep.finish(true);
 }

@@ -15,6 +15,7 @@
 // factor off Generic.
 #include <iostream>
 
+#include "bench_report.h"
 #include "baselines/absorption.h"
 #include "baselines/dfs_election.h"
 #include "baselines/flooding.h"
@@ -25,9 +26,11 @@
 #include "core/runner.h"
 #include "graph/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Comparison: paper's algorithms vs baselines (§1.1) ==\n\n";
+
+  bench::reporter rep("baselines", argc, argv);
   bool all_ok = true;
 
   for (const std::size_t n : {64u, 256u, 1024u}) {
@@ -47,12 +50,28 @@ int main() {
       all_ok = all_ok && generic.completed && bounded.completed &&
                adhoc.completed && nd.converged && ab.converged &&
                pd.converged;
+      const double dn = static_cast<double>(n);
+      const double lg = static_cast<double>(ceil_log2(n));
+      const std::string suffix = dense ? "/dense" : "/sparse";
+      rep.add("name_dropper" + suffix, dn, static_cast<double>(nd.messages),
+              dn * lg * lg);
+      rep.add("generic" + suffix, dn, static_cast<double>(generic.messages),
+              dn * lg);
+      rep.add("bounded" + suffix, dn, static_cast<double>(bounded.messages),
+              4.0 * dn);
+      rep.add("adhoc" + suffix, dn, static_cast<double>(adhoc.messages),
+              4.0 * dn);
+      rep.merge_types(generic.by_type);
+      rep.merge_types(bounded.by_type);
+      rep.merge_types(adhoc.by_type);
 
       // Flooding is the point of the contrast — and precisely because its
       // cost is superquadratic it is only simulated up to n = 256 here.
       if (n <= 256) {
         const auto flood = baselines::run_flooding(g, 1);
         all_ok = all_ok && flood.converged;
+        rep.add("flooding" + suffix, dn, static_cast<double>(flood.messages),
+                dn * static_cast<double>(g.edge_count()));
         t.add_row({"flooding (naive)", "async", std::to_string(flood.messages),
                    std::to_string(flood.bits), "-"});
       } else {
@@ -98,5 +117,5 @@ int main() {
                " Bounded > Ad-hoc in messages on dense graphs, flooding's\n"
                "bits worse by a ~n factor, and the strongly-connected token"
                " DFS linear (no log factor).\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

@@ -4,6 +4,10 @@
 // counts in the other benches, these depend on the host machine).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_report.h"
 #include "core/runner.h"
 #include "graph/topology.h"
 #include "unionfind/ackermann.h"
@@ -81,4 +85,70 @@ void BM_InverseAckermann(benchmark::State& state) {
 }
 BENCHMARK(BM_InverseAckermann);
 
+// Capturing reporter: prints the usual console table and records each
+// per-iteration run (skipping aggregates/errors) for the JSON emission.
+class capture_reporter : public benchmark::ConsoleReporter {
+ public:
+  struct result {
+    std::string name;
+    double real_ns_per_iter;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      results.push_back(
+          {run.benchmark_name(), run.real_accumulated_time * 1e9 / iters});
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<result> results;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Pull our flags out before benchmark::Initialize, which rejects
+  // arguments it does not recognize.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  asyncrd::bench::reporter rep("core_micro", argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-json") == 0) continue;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  // An explicit --benchmark_format means the caller wants google-benchmark's
+  // own serialization on stdout; hand over entirely (no BENCH json) rather
+  // than overriding the format with our capturing console reporter.
+  bool custom_format = false;
+  for (const char* a : passthrough)
+    if (std::strncmp(a, "--benchmark_format", 18) == 0) custom_format = true;
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+
+  if (custom_format) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  capture_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // Wall-clock microbenchmarks have no paper-predicted bound; emit 0 so
+  // regression tooling compares measured-vs-measured across runs instead.
+  for (const auto& r : reporter.results)
+    rep.add(r.name, 0.0, r.real_ns_per_iter, 0.0);
+  return rep.finish(!reporter.results.empty());
+}

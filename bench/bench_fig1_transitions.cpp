@@ -8,14 +8,17 @@
 // the diagram is evidence the test workloads reach every protocol corner.
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/table.h"
 #include "core/runner.h"
 #include "core/trace.h"
 #include "graph/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Figure 1: state-transition diagram validation ==\n\n";
+
+  bench::reporter rep("fig1_transitions", argc, argv);
 
   core::transition_recorder rec;
   for (const auto algo : {core::variant::generic, core::variant::bounded,
@@ -35,6 +38,8 @@ int main() {
   for (const auto& [edge, count] : rec.edges()) {
     const bool legal = core::transition_recorder::legal_edges().contains(edge);
     all_ok = all_ok && legal;
+    rep.add(core::edge_to_string(edge), 0.0, static_cast<double>(count),
+            legal ? static_cast<double>(count) : 0.0);
     t.add_row({core::edge_to_string(edge), std::to_string(count),
                legal ? "yes" : "NO"});
   }
@@ -52,7 +57,11 @@ int main() {
             << core::transition_recorder::legal_edges().size()
             << " diagram edges exercised, " << rec.total()
             << " transitions recorded\n";
+  rep.note("diagram_edges_covered", static_cast<double>(covered));
+  rep.note("diagram_edges_total",
+           static_cast<double>(core::transition_recorder::legal_edges().size()));
+  rep.note("transitions_recorded", static_cast<double>(rec.total()));
   std::cout << "\npaper: Figure 1 — every observed transition must be an"
                " arrow of the diagram (legal = yes on every row).\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

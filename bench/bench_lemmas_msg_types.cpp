@@ -14,6 +14,7 @@
 // counts next to each cap.
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/checker.h"
@@ -21,10 +22,11 @@
 #include "graph/topology.h"
 #include "sim/scheduler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Lemmas 5.5-5.8: message counts by type ==\n\n";
 
+  bench::reporter rep("lemmas_msg_types", argc, argv);
   bool all_ok = true;
   for (const auto algo : {core::variant::generic, core::variant::bounded,
                           core::variant::adhoc}) {
@@ -44,6 +46,23 @@ int main() {
       for (const auto& b : rows) all_ok = all_ok && b.ok();
       const auto& st = run.statistics();
       const std::size_t n = g.node_count();
+      const std::string prefix =
+          std::string(core::to_string(algo)) + "/" + name + "/";
+      const double dn = static_cast<double>(n);
+      rep.add(prefix + "query", dn,
+              static_cast<double>(st.messages_of_any({"query", "query_reply"})),
+              4.0 * dn);
+      rep.add(prefix + "search_release", dn,
+              static_cast<double>(st.messages_of_any({"search", "release"})),
+              rows[1].cap);
+      rep.add(prefix + "merge_info", dn,
+              static_cast<double>(st.messages_of_any(
+                  {"merge_accept", "merge_fail", "info"})),
+              3.0 * dn - 2.0);
+      rep.add(prefix + "conquer", dn,
+              static_cast<double>(st.messages_of_any({"conquer", "more_done"})),
+              rows[3].cap);
+      rep.merge_stats(st);
       t.add_row({name, std::to_string(n),
                  std::to_string(st.messages_of_any({"query", "query_reply"})),
                  std::to_string(st.messages_of_any({"search", "release"})),
@@ -68,5 +87,5 @@ int main() {
                " the Lemma 5.7 column is audited against the corrected\n"
                "3n-2 (measured values above 2n on some rows reproduce the"
                " counting slip documented in EXPERIMENTS.md).\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/table.h"
 #include "core/checker.h"
 #include "core/runner.h"
@@ -51,9 +52,10 @@ chain_stats measure_chains(const core::discovery_run& run, node_id leader) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "== Pointer paths (Ad-hoc property 3b) and leader hotspot ==\n\n";
 
+  bench::reporter rep("pointer_paths", argc, argv);
   text_table t({"n", "avg path", "max path", "after 1 probe rnd",
                 "after 2 rnds", "probe msgs/rnd2", "max node load %"});
   for (const std::size_t n : {128u, 512u, 2048u}) {
@@ -87,6 +89,15 @@ int main() {
         100.0 * static_cast<double>(load.max_load()) /
         static_cast<double>(2 * run.statistics().total_messages());
 
+    const double dn = static_cast<double>(n);
+    // §1.3: one compression round leaves every node one hop from the
+    // leader, so round 2 costs exactly one probe + one reply per non-leader.
+    rep.add("avg_path_after_round1", dn, after1.avg, 1.0);
+    rep.add("probe_msgs_round2", dn, static_cast<double>(round2_msgs),
+            2.0 * (dn - 1.0));
+    rep.merge_stats(run.statistics());
+    rep.note("max_load_pct_n" + std::to_string(n), load_pct);
+
     t.add_row({std::to_string(n), fmt_double(initial.avg),
                std::to_string(initial.max),
                fmt_double(after1.avg) + "/" + std::to_string(after1.max),
@@ -100,5 +111,5 @@ int main() {
          "one hop from the leader (avg/max -> 1/1) and a second round costs"
          " exactly 2 messages per node.  The leader is the hotspot,\n"
          "touching a large constant fraction of all traffic.\n";
-  return 0;
+  return rep.finish(true);
 }

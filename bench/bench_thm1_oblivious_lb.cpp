@@ -10,6 +10,7 @@
 // O(n log n) upper envelope.
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/adversary.h"
@@ -17,10 +18,12 @@
 #include "core/runner.h"
 #include "graph/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Theorem 1: Oblivious lower bound on adversarial binary"
                " trees ==\n\n";
+
+  bench::reporter jrep("thm1_oblivious_lb", argc, argv);
 
   text_table t({"tree", "n", "messages", "bound i*2^(i-1)-2", "0.5 n log n",
                 "meets bound"});
@@ -47,6 +50,9 @@ int main() {
     const auto msgs = run.statistics().total_messages();
     const bool meets = static_cast<double>(msgs) >= bound;
     all_ok = all_ok && meets;
+    jrep.add("T(" + std::to_string(i) + ")", static_cast<double>(n),
+             static_cast<double>(msgs), bound);
+    jrep.merge_stats(run.statistics());
     t.add_row({"T(" + std::to_string(i) + ")", std::to_string(n),
                std::to_string(msgs), fmt_double(bound, 0),
                fmt_double(0.5 * n_log_n(static_cast<double>(n)), 0),
@@ -58,5 +64,5 @@ int main() {
                " must send at least i*2^(i-1) - 2 = ~0.5 n log n messages;\n"
                "expect 'meets bound' = yes on every row, with measured"
                " messages also within Theorem 5's O(n log n) envelope.\n";
-  return all_ok ? 0 : 1;
+  return jrep.finish(all_ok);
 }

@@ -8,15 +8,18 @@
 // operation against N * alpha(N, N) for N = 2n - 1 + m network nodes.
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/table.h"
 #include "core/uf_reduction.h"
 #include "unionfind/ackermann.h"
 #include "unionfind/dsu.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Theorem 2 / Lemma 3.1: Ad-hoc lower bound via Union-Find"
                " reduction ==\n\n";
+
+  bench::reporter rep("thm2_adhoc_lb", argc, argv);
 
   text_table t({"schedule", "sets n", "ops", "net nodes N", "messages",
                 "N*alpha(N,N)", "msgs/op", "ratio"});
@@ -36,6 +39,9 @@ int main() {
     const double big_n = static_cast<double>(red.network_size());
     const double na =
         big_n * uf::inverse_ackermann(red.network_size(), red.network_size());
+    rep.add(name + "/n=" + std::to_string(n), big_n,
+            static_cast<double>(msgs), na);
+    rep.merge_stats(red.statistics());
     t.add_row({name, std::to_string(n), std::to_string(ops),
                std::to_string(red.network_size()), std::to_string(msgs),
                fmt_double(na, 0),
@@ -55,5 +61,5 @@ int main() {
          " the matching O(n alpha(n,n)) upper bound, so the ratio column\n"
          "should be Theta(1): bounded above and not collapsing toward 0 as"
          " n grows (messages per operation stay near-constant).\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

@@ -7,16 +7,18 @@
 // including the adversarial tree of Theorem 1).
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/checker.h"
 #include "core/runner.h"
 #include "graph/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Theorem 5: Generic algorithm, message complexity O(n log n) ==\n\n";
 
+  bench::reporter rep("thm5_generic_msgs", argc, argv);
   text_table t({"topology", "n", "|E0|", "messages", "n log n", "ratio"});
   bool all_ok = true;
 
@@ -25,6 +27,9 @@ int main() {
     const auto s = core::run_discovery(g, core::variant::generic, seed);
     all_ok = all_ok && s.completed;
     const double nl = n_log_n(static_cast<double>(g.node_count()));
+    rep.add(name, static_cast<double>(g.node_count()),
+            static_cast<double>(s.messages), nl);
+    rep.merge_types(s.by_type);
     t.add_row({name, std::to_string(g.node_count()),
                std::to_string(g.edge_count()), std::to_string(s.messages),
                fmt_double(nl, 0), fmt_ratio(static_cast<double>(s.messages), nl)});
@@ -45,5 +50,5 @@ int main() {
   t.print(std::cout);
   std::cout << "\npaper: Theorem 5 — O(n log n); expect the ratio column to"
                " stay bounded by a constant as n grows.\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

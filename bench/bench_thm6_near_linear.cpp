@@ -8,16 +8,19 @@
 // (alpha(n, n) <= 4 for any feasible n).
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/runner.h"
 #include "graph/topology.h"
 #include "unionfind/ackermann.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Theorem 6: near-linear message complexity of Bounded and"
                " Ad-hoc ==\n\n";
+
+  bench::reporter rep("thm6_near_linear", argc, argv);
 
   text_table t({"n", "alpha(n,n)", "generic", "bounded", "adhoc",
                 "generic/n", "bounded/n", "adhoc/n"});
@@ -32,6 +35,14 @@ int main() {
              gen.leaders.size() == 1 && bnd.leaders.size() == 1 &&
              adh.leaders.size() == 1;
     const double dn = static_cast<double>(n);
+    const double alpha = uf::inverse_ackermann(n, n);
+    rep.add("generic", dn, static_cast<double>(gen.messages),
+            n_log_n(dn));
+    rep.add("bounded", dn, static_cast<double>(bnd.messages), dn * alpha);
+    rep.add("adhoc", dn, static_cast<double>(adh.messages), dn * alpha);
+    rep.merge_types(gen.by_type);
+    rep.merge_types(bnd.by_type);
+    rep.merge_types(adh.by_type);
     t.add_row({std::to_string(n),
                std::to_string(uf::inverse_ackermann(n, n)),
                std::to_string(gen.messages), std::to_string(bnd.messages),
@@ -46,5 +57,5 @@ int main() {
                " (Theta(log n)) while bounded/n and adhoc/n stay bounded\n"
                "by a constant (O(alpha(n,n)), and alpha <= 4 here);"
                " adhoc < bounded < generic on every row.\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

@@ -7,15 +7,18 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/runner.h"
 #include "graph/topology.h"
 #include "sim/scheduler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Theorem 7: bit complexity O(|E0| log n + n log^2 n) ==\n\n";
+
+  bench::reporter rep("thm7_bits", argc, argv);
 
   text_table t({"regime", "n", "|E0|", "total bits", "bound", "ratio",
                 "qreply<=2|E0|lg", "info<=4n lg^2"});
@@ -38,6 +41,8 @@ int main() {
     const bool qr_ok = static_cast<double>(st.bits_of("query_reply")) <=
                        qreply_cap + 8 * lg;  // slack for re-injected ids
     const bool info_ok = static_cast<double>(st.bits_of("info")) <= info_cap;
+    rep.add(name, n, static_cast<double>(st.total_bits()), bound);
+    rep.merge_stats(st);
     t.add_row({name, std::to_string(g.node_count()),
                std::to_string(g.edge_count()), std::to_string(st.total_bits()),
                fmt_double(bound, 0),
@@ -60,5 +65,5 @@ int main() {
                " the ratio column stays bounded by a constant across\n"
                "densities; Lemma 5.9 (query-reply bits) and Lemma 5.10 (info"
                " bits) hold per row.\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

@@ -10,6 +10,7 @@
 // re-execution after every addition.
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/checker.h"
@@ -18,9 +19,11 @@
 #include "sim/scheduler.h"
 #include "unionfind/ackermann.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Theorem 8: dynamic node and link additions (Ad-hoc) ==\n\n";
+
+  bench::reporter jrep("thm8_dynamic", argc, argv);
 
   text_table t({"n", "n_hat", "e_hat", "base msgs", "incr msgs",
                 "msgs/addition", "m*alpha", "incr/bound",
@@ -70,6 +73,9 @@ int main() {
     const double m = static_cast<double>(n + n_hat + e_hat);
     const double bound =
         m * uf::inverse_ackermann(static_cast<std::uint64_t>(m), n + n_hat);
+    jrep.add("incremental", static_cast<double>(n),
+            static_cast<double>(incr), bound);
+    jrep.merge_stats(run.statistics());
     t.add_row({std::to_string(n), std::to_string(n_hat),
                std::to_string(e_hat), std::to_string(base),
                std::to_string(incr),
@@ -86,5 +92,5 @@ int main() {
          " state is O(m alpha(m, n+n_hat)), so the incremental cost per\n"
          "addition is O(alpha) amortized: expect msgs/addition to stay a"
          " small constant while the rerun-every-time column explodes.\n";
-  return all_ok ? 0 : 1;
+  return jrep.finish(all_ok);
 }

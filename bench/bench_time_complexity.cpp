@@ -11,6 +11,7 @@
 // counts of the synchronous baselines on the same graphs.
 #include <iostream>
 
+#include "bench_report.h"
 #include "baselines/name_dropper.h"
 #include "baselines/pointer_doubling.h"
 #include "common/bitmath.h"
@@ -18,9 +19,11 @@
 #include "core/runner.h"
 #include "graph/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
   std::cout << "== Time complexity: quiescence time under unit delays ==\n\n";
+
+  bench::reporter rep("time_complexity", argc, argv);
 
   text_table t({"n", "generic", "bounded", "adhoc", "generic/n", "log n",
                 "NameDropper rounds", "ptr-dbl rounds"});
@@ -34,6 +37,13 @@ int main() {
     const auto nd = baselines::run_name_dropper(g, 5);
     const auto pd = baselines::run_pointer_doubling(g);
     all_ok = all_ok && gen.completed && bnd.completed && adh.completed;
+    const double dn = static_cast<double>(n);
+    rep.add("generic", dn, static_cast<double>(gen.completion_time), dn);
+    rep.add("bounded", dn, static_cast<double>(bnd.completion_time), dn);
+    rep.add("adhoc", dn, static_cast<double>(adh.completion_time), dn);
+    rep.merge_types(gen.by_type);
+    rep.merge_types(bnd.by_type);
+    rep.merge_types(adh.by_type);
     t.add_row({std::to_string(n), std::to_string(gen.completion_time),
                std::to_string(bnd.completion_time),
                std::to_string(adh.completion_time),
@@ -49,5 +59,5 @@ int main() {
                "while the synchronous baselines finish in polylog rounds;"
                " closing that gap while keeping O(n alpha) messages is the\n"
                "paper's stated open question.\n";
-  return all_ok ? 0 : 1;
+  return rep.finish(all_ok);
 }

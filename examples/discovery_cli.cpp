@@ -8,6 +8,7 @@
 //     --probe V         after quiescence, node V probes the leader (adhoc)
 //     --dot             print the knowledge graph as Graphviz DOT and exit
 //     --quiet           suppress the per-type message table
+//     --json PATH       write a telemetry run report (docs/OBSERVABILITY.md)
 //
 // Examples:
 //   echo "0 1
@@ -25,6 +26,7 @@
 #include "core/runner.h"
 #include "graph/graphio.h"
 #include "graph/topology.h"
+#include "telemetry/report.h"
 
 namespace {
 
@@ -39,7 +41,8 @@ using namespace asyncrd;
       "  --gen KIND:N[:EXTRA[:SEED]]  generate topology\n"
       "  --probe V             probe the leader from node V afterwards\n"
       "  --dot                 dump Graphviz DOT of E0 and exit\n"
-      "  --quiet               no per-type breakdown\n";
+      "  --quiet               no per-type breakdown\n"
+      "  --json PATH           write a JSON run report to PATH\n";
   std::exit(2);
 }
 
@@ -68,7 +71,7 @@ graph::digraph generate(const std::string& spec) {
 int main(int argc, char** argv) {
   std::string variant_name = "generic";
   std::uint64_t seed = 1;
-  std::string gen_spec, input;
+  std::string gen_spec, input, json_path;
   bool want_dot = false, quiet = false;
   node_id probe_from = invalid_node;
 
@@ -84,6 +87,7 @@ int main(int argc, char** argv) {
     else if (a == "--probe") probe_from = static_cast<node_id>(std::stoull(next()));
     else if (a == "--dot") want_dot = true;
     else if (a == "--quiet") quiet = true;
+    else if (a == "--json") json_path = next();
     else if (a == "--version") {
       std::cout << "asyncrd " << asyncrd::version << '\n';
       return 0;
@@ -122,6 +126,8 @@ int main(int argc, char** argv) {
     sched = std::make_unique<sim::random_delay_scheduler>(seed);
 
   core::discovery_run run(g, cfg, *sched);
+  std::unique_ptr<telemetry::run_recorder> rec;
+  if (!json_path.empty()) rec = std::make_unique<telemetry::run_recorder>(run);
   run.wake_all();
   const auto r = run.run();
   if (!r.completed) {
@@ -152,6 +158,22 @@ int main(int argc, char** argv) {
     if (c.has_value())
       std::cout << "probe from " << probe_from << ": leader " << c->leader
                 << ", census " << c->ids.size() << " ids\n";
+  }
+
+  if (rec) {
+    telemetry::run_report report = rec->report(r);
+    report.label = "discovery_cli";
+    report.variant = core::to_string(cfg.algo);
+    report.seed = seed;
+    report.edges = g.edge_count();
+    report.extra["spec_check_ok"] = rep.ok() ? 1.0 : 0.0;
+    std::ofstream out(json_path);
+    out << report.to_json() << '\n';
+    if (!out) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "[json] " << json_path << '\n';
   }
 
   std::cout << "spec check: " << (rep.ok() ? "OK" : "FAILED") << '\n';

@@ -43,6 +43,11 @@
 #include "core/trace.h"
 #include "core/uf_reduction.h"
 
+#include "telemetry/histogram.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+
 #include "baselines/absorption.h"
 #include "baselines/baseline_result.h"
 #include "baselines/dfs_election.h"

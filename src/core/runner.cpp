@@ -81,6 +81,8 @@ run_summary run_discovery(const graph::digraph& g, variant algo,
   s.bits = run.statistics().total_bits();
   s.events = r.events_processed;
   s.completion_time = run.net().now();
+  s.wall_ms = run.net().timing().wall_ms();
+  s.by_type = run.statistics().by_type();
   s.leaders = run.leaders();
   s.completed = r.completed;
   return s;

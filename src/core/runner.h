@@ -29,6 +29,11 @@ class discovery_run {
   const sim::network& net() const noexcept { return net_; }
   const config& cfg() const noexcept { return cfg_; }
 
+  /// Arms (or, with nullptr, disarms) the state-transition trace for the
+  /// rest of the execution — nodes consult the shared config on every
+  /// transition, so this works after construction (telemetry uses it).
+  void set_trace(trace_sink* sink) noexcept { cfg_.trace = sink; }
+
   /// The node object for an id (throws if unknown).
   node& at(node_id id);
   const node& at(node_id id) const;
@@ -69,6 +74,10 @@ struct run_summary {
   /// the longest message chain, i.e. the execution's time complexity in
   /// the standard asynchronous measure (paper §7 discusses O(T + n)).
   sim::sim_time completion_time = 0;
+  /// Host wall-clock time spent in the event loop (sim::run_timing).
+  double wall_ms = 0.0;
+  /// Per-type message/bit counts (telemetry reports aggregate these).
+  std::map<std::string, sim::type_stats, std::less<>> by_type;
   std::vector<node_id> leaders;
   bool completed = false;
 };

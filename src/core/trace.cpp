@@ -48,6 +48,18 @@ std::vector<transition_recorder::edge> transition_recorder::illegal_edges()
   return bad;
 }
 
+std::map<std::string, std::uint64_t> transition_recorder::edge_multiplicities()
+    const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [e, count] : edges_) out[edge_to_string(e)] = count;
+  return out;
+}
+
+void transition_recorder::clear() {
+  edges_.clear();
+  total_ = 0;
+}
+
 std::string edge_to_string(const transition_recorder::edge& e) {
   std::ostringstream ss;
   ss << to_string(e.first) << " -> " << to_string(e.second);

@@ -38,7 +38,13 @@ class transition_recorder final : public trace_sink {
   /// Edges observed that are not in legal_edges() — empty on a correct run.
   std::vector<edge> illegal_edges() const;
 
+  /// Multiplicities keyed by the human-readable edge name ("explore -> wait")
+  /// — the serialization-friendly view used by telemetry run reports.
+  std::map<std::string, std::uint64_t> edge_multiplicities() const;
+
   std::uint64_t total() const noexcept { return total_; }
+
+  void clear();
 
  private:
   std::map<edge, std::uint64_t> edges_;

@@ -20,34 +20,54 @@ void event_log::on_deliver(sim_time t, node_id from, node_id to,
 }
 
 void event_log::push(logged_event ev) {
-  if (events_.size() >= capacity_) {
+  if (capacity_ == 0) {
     ++dropped_;
     return;
   }
-  events_.push_back(std::move(ev));
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(ev));
+    return;
+  }
+  // Full: overwrite the oldest event and advance the ring start.
+  events_[start_] = std::move(ev);
+  start_ = (start_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<logged_event> event_log::events() const {
+  std::vector<logged_event> out;
+  out.reserve(events_.size());
+  for_each([&](const logged_event& e) { out.push_back(e); });
+  return out;
 }
 
 std::vector<logged_event> event_log::of_kind(logged_event::kind k) const {
   std::vector<logged_event> out;
-  for (const auto& e : events_)
+  for_each([&](const logged_event& e) {
     if (e.what == k) out.push_back(e);
+  });
   return out;
 }
 
 std::vector<logged_event> event_log::touching(node_id v) const {
   std::vector<logged_event> out;
-  for (const auto& e : events_)
+  for_each([&](const logged_event& e) {
     if (e.from == v || e.to == v) out.push_back(e);
+  });
   return out;
 }
 
 void event_log::render(std::ostream& os, std::size_t max_lines) const {
+  if (dropped_ > 0)
+    os << "(" << dropped_ << " older events dropped at capacity)\n";
   std::size_t lines = 0;
-  for (const auto& e : events_) {
-    if (lines++ >= max_lines) {
-      os << "... (" << events_.size() - max_lines << " more events)\n";
+  bool truncated = false;
+  for_each([&](const logged_event& e) {
+    if (lines >= max_lines) {
+      truncated = true;
       return;
     }
+    ++lines;
     os << "t=" << e.at << ' ';
     switch (e.what) {
       case logged_event::kind::wake:
@@ -61,12 +81,14 @@ void event_log::render(std::ostream& os, std::size_t max_lines) const {
         break;
     }
     os << '\n';
-  }
-  if (dropped_ > 0) os << "(" << dropped_ << " events dropped at capacity)\n";
+  });
+  if (truncated)
+    os << "... (" << events_.size() - max_lines << " more events)\n";
 }
 
 void event_log::clear() {
   events_.clear();
+  start_ = 0;
   dropped_ = 0;
 }
 

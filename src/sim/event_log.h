@@ -25,7 +25,10 @@ struct logged_event {
 
 class event_log final : public observer {
  public:
-  /// Keep at most `capacity` events (older events are dropped and counted).
+  /// Keep at most `capacity` events.  The log is a ring: once full, each new
+  /// event evicts the oldest one (and bumps dropped()), so what survives is
+  /// always the newest window — the part you want when debugging how a long
+  /// run ended.
   explicit event_log(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
 
   void on_wake(sim_time t, node_id v) override;
@@ -33,7 +36,11 @@ class event_log final : public observer {
   void on_deliver(sim_time t, node_id from, node_id to,
                   const message& m) override;
 
-  const std::vector<logged_event>& events() const noexcept { return events_; }
+  /// The retained events, oldest first.
+  std::vector<logged_event> events() const;
+  /// Number of retained events (no linearizing copy).
+  std::size_t size() const noexcept { return events_.size(); }
+  /// Events evicted because the log was at capacity.
   std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// Events of one kind, in order.
@@ -50,8 +57,18 @@ class event_log final : public observer {
  private:
   void push(logged_event ev);
 
+  /// Applies `f` to each retained event, oldest first.
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::size_t n = events_.size();
+    for (std::size_t i = 0; i < n; ++i) f(events_[(start_ + i) % n]);
+  }
+
   std::size_t capacity_;
+  /// Ring storage: grows to capacity_, then wraps; start_ is the index of
+  /// the oldest retained event once full (0 before that).
   std::vector<logged_event> events_;
+  std::size_t start_ = 0;
   std::uint64_t dropped_ = 0;
 };
 

@@ -1,28 +1,38 @@
 #include "sim/load_observer.h"
 
-#include <set>
+#include <algorithm>
 
 namespace asyncrd::sim {
 
+std::vector<std::uint64_t> load_observer::loads() const {
+  std::vector<std::uint64_t> out(std::max(sent_.size(), received_.size()), 0);
+  for (std::size_t v = 0; v < sent_.size(); ++v) out[v] += sent_[v];
+  for (std::size_t v = 0; v < received_.size(); ++v) out[v] += received_[v];
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
 node_id load_observer::hottest() const {
+  const auto all = loads();
   node_id best = invalid_node;
   std::uint64_t best_load = 0;
-  std::set<node_id> nodes;
-  for (const auto& [v, c] : sent_) nodes.insert(v);
-  for (const auto& [v, c] : received_) nodes.insert(v);
-  for (const node_id v : nodes) {
-    const std::uint64_t l = load_of(v);
-    if (l > best_load) {
-      best_load = l;
-      best = v;
+  for (std::size_t v = 0; v < all.size(); ++v) {
+    if (all[v] > best_load) {
+      best_load = all[v];
+      best = static_cast<node_id>(v);
     }
   }
   return best;
 }
 
 std::uint64_t load_observer::max_load() const {
-  const node_id h = hottest();
-  return h == invalid_node ? 0 : load_of(h);
+  const auto all = loads();
+  return all.empty() ? 0 : *std::max_element(all.begin(), all.end());
+}
+
+void load_observer::reset() {
+  sent_.clear();
+  received_.clear();
 }
 
 }  // namespace asyncrd::sim

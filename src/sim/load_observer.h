@@ -1,10 +1,16 @@
 // Per-node traffic accounting: messages sent/received by each node.
 // Used for hotspot analysis (the discovery leader concentrates traffic;
 // how badly does the maximum per-node load grow with n?).
+//
+// Node ids are dense (0..n-1, with small sparse islands for dynamically
+// added nodes), so the counters live in vectors indexed by id — this sits
+// on the per-message hot path of every instrumented run and must not pay a
+// map lookup per event.  To combine with other observers, register both on
+// the network (network::add_observer fans out to every armed observer).
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "common/ids.h"
 #include "sim/network.h"
@@ -13,31 +19,20 @@ namespace asyncrd::sim {
 
 class load_observer final : public observer {
  public:
-  explicit load_observer(observer* chain = nullptr) : chain_(chain) {}
-
-  void on_send(sim_time t, node_id from, node_id to,
-               const message& m) override {
-    ++sent_[from];
-    if (chain_ != nullptr) chain_->on_send(t, from, to, m);
+  void on_send(sim_time, node_id from, node_id, const message&) override {
+    bump(sent_, from);
   }
-  void on_deliver(sim_time t, node_id from, node_id to,
-                  const message& m) override {
-    ++received_[to];
-    if (chain_ != nullptr) chain_->on_deliver(t, from, to, m);
-  }
-  void on_wake(sim_time t, node_id v) override {
-    if (chain_ != nullptr) chain_->on_wake(t, v);
+  void on_deliver(sim_time, node_id, node_id to, const message&) override {
+    bump(received_, to);
   }
 
-  std::uint64_t sent_by(node_id v) const {
-    const auto it = sent_.find(v);
-    return it == sent_.end() ? 0 : it->second;
+  std::uint64_t sent_by(node_id v) const noexcept {
+    return v < sent_.size() ? sent_[v] : 0;
   }
-  std::uint64_t received_by(node_id v) const {
-    const auto it = received_.find(v);
-    return it == received_.end() ? 0 : it->second;
+  std::uint64_t received_by(node_id v) const noexcept {
+    return v < received_.size() ? received_[v] : 0;
   }
-  std::uint64_t load_of(node_id v) const {
+  std::uint64_t load_of(node_id v) const noexcept {
     return sent_by(v) + received_by(v);
   }
 
@@ -45,9 +40,19 @@ class load_observer final : public observer {
   node_id hottest() const;
   std::uint64_t max_load() const;
 
+  /// Total load per node, indexed by id, for every id that saw traffic
+  /// (trailing zero-load ids trimmed).
+  std::vector<std::uint64_t> loads() const;
+
+  void reset();
+
  private:
-  observer* chain_;
-  std::map<node_id, std::uint64_t> sent_, received_;
+  static void bump(std::vector<std::uint64_t>& v, node_id id) {
+    if (id >= v.size()) v.resize(static_cast<std::size_t>(id) + 1, 0);
+    ++v[id];
+  }
+
+  std::vector<std::uint64_t> sent_, received_;
 };
 
 }  // namespace asyncrd::sim

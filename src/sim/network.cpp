@@ -1,11 +1,27 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/bitmath.h"
 
 namespace asyncrd::sim {
+
+void multi_observer::add(observer* obs) {
+  assert(obs != nullptr);
+  assert(std::find(observers_.begin(), observers_.end(), obs) ==
+         observers_.end());
+  observers_.push_back(obs);
+}
+
+bool multi_observer::remove(observer* obs) {
+  const auto it = std::find(observers_.begin(), observers_.end(), obs);
+  if (it == observers_.end()) return false;
+  observers_.erase(it);
+  return true;
+}
 
 sim_time context::now() const noexcept { return net_->now(); }
 
@@ -82,7 +98,7 @@ void network::take_step(const manual_step& s) {
   it->second.queue.pop_front();
   if (it->second.unscheduled > 0) --it->second.unscheduled;
   ensure_awake(s.b);
-  if (observer_ != nullptr) observer_->on_deliver(now_, s.a, s.b, *m);
+  observers_.on_deliver(now_, s.a, s.b, *m);
   context ctx(*this, s.b);
   nodes_.at(s.b).proc->on_message(ctx, s.a, m);
 }
@@ -114,7 +130,7 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
   assert(m != nullptr);
   if (!nodes_.contains(to)) throw std::invalid_argument("send: unknown destination");
   stats_.record(*m);
-  if (observer_ != nullptr) observer_->on_send(now_, from, to, *m);
+  observers_.on_send(now_, from, to, *m);
 
   auto& ch = channels_[{from, to}];
   if (manual_mode_ || blocked_senders_.contains(from)) {
@@ -131,7 +147,7 @@ void network::ensure_awake(node_id id) {
   auto& slot = nodes_.at(id);
   if (slot.awake) return;
   slot.awake = true;
-  if (observer_ != nullptr) observer_->on_wake(now_, id);
+  observers_.on_wake(now_, id);
   context ctx(*this, id);
   slot.proc->on_wake(ctx);
 }
@@ -151,7 +167,7 @@ void network::dispatch(const event& ev) {
       message_ptr m = std::move(ch.queue.front());
       ch.queue.pop_front();
       ensure_awake(ev.b);
-      if (observer_ != nullptr) observer_->on_deliver(now_, ev.a, ev.b, *m);
+      observers_.on_deliver(now_, ev.a, ev.b, *m);
       context ctx(*this, ev.b);
       nodes_.at(ev.b).proc->on_message(ctx, ev.a, m);
       break;
@@ -173,15 +189,22 @@ void network::finalize_id_bits() {
 run_result network::run_to_quiescence(std::uint64_t max_events) {
   finalize_id_bits();
   run_result r;
+  const auto start = std::chrono::steady_clock::now();
   while (!events_.empty()) {
     if (r.events_processed++ >= max_events) {
       r.completed = false;
-      return r;
+      break;
     }
     const event ev = events_.top();
     events_.pop();
     dispatch(ev);
   }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ++timing_.loops;
+  timing_.events += r.events_processed;
+  timing_.wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  sched_->on_run_timing(timing_);
   return r;
 }
 

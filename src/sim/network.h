@@ -76,6 +76,36 @@ class observer {
   virtual void on_wake(sim_time, node_id) {}
 };
 
+/// Composite observer: fans every event out to N observers in registration
+/// order.  The network holds one of these, so stats monitors, load
+/// observers, event logs, and telemetry can all be armed on the same run.
+class multi_observer final : public observer {
+ public:
+  /// Registers an observer (not owned; must outlive the composite).
+  /// Callbacks fire in registration order.
+  void add(observer* obs);
+
+  /// Unregisters; returns false if the observer was not registered.
+  bool remove(observer* obs);
+
+  void clear() noexcept { observers_.clear(); }
+  std::size_t size() const noexcept { return observers_.size(); }
+  bool empty() const noexcept { return observers_.empty(); }
+
+  void on_send(sim_time t, node_id from, node_id to, const message& m) override {
+    for (observer* o : observers_) o->on_send(t, from, to, m);
+  }
+  void on_deliver(sim_time t, node_id from, node_id to, const message& m) override {
+    for (observer* o : observers_) o->on_deliver(t, from, to, m);
+  }
+  void on_wake(sim_time t, node_id v) override {
+    for (observer* o : observers_) o->on_wake(t, v);
+  }
+
+ private:
+  std::vector<observer*> observers_;
+};
+
 /// Result of network::run.
 struct run_result {
   std::uint64_t events_processed = 0;
@@ -171,7 +201,23 @@ class network {
   stats& statistics() noexcept { return stats_; }
   const stats& statistics() const noexcept { return stats_; }
 
-  void set_observer(observer* obs) noexcept { observer_ = obs; }
+  /// Wall-clock timing of the event loops run so far (cumulative).
+  const run_timing& timing() const noexcept { return timing_; }
+
+  // --- observers ---------------------------------------------------------
+  //
+  // Any number of observers can be armed at once; events fan out in
+  // registration order.  Observers are not owned and must outlive the run.
+
+  void add_observer(observer* obs) { observers_.add(obs); }
+  bool remove_observer(observer* obs) { return observers_.remove(obs); }
+
+  /// Legacy single-observer interface: clears the list, then registers
+  /// `obs` (nullptr just clears).
+  void set_observer(observer* obs) {
+    observers_.clear();
+    if (obs != nullptr) observers_.add(obs);
+  }
 
   /// True iff no undelivered messages exist anywhere (including held ones).
   bool channels_empty() const;
@@ -221,7 +267,8 @@ class network {
   std::set<node_id> blocked_senders_;
   std::priority_queue<event, std::vector<event>, event_after> events_;
   stats stats_;
-  observer* observer_ = nullptr;
+  multi_observer observers_;
+  run_timing timing_;
   sim_time now_ = 0;
   std::uint64_t seq_ = 0;
   bool id_bits_fixed_ = false;

@@ -5,6 +5,11 @@
 
 namespace asyncrd::sim {
 
+double run_timing::events_per_sec() const noexcept {
+  if (wall_ns == 0) return 0.0;
+  return static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns);
+}
+
 random_delay_scheduler::random_delay_scheduler(std::uint64_t seed,
                                                sim_time min_delay,
                                                sim_time max_delay)

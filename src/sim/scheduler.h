@@ -22,6 +22,22 @@ class network;
 /// Simulated time.  Unitless; only relative order matters.
 using sim_time = std::uint64_t;
 
+/// Wall-clock accounting of the event loop, accumulated across the
+/// run_to_quiescence calls of one network.  This is the telemetry layer's
+/// event-throughput source: unlike sim_time it measures host time, so it is
+/// only meaningful for comparing implementations on one machine.
+struct run_timing {
+  std::uint64_t loops = 0;     ///< event-loop invocations timed
+  std::uint64_t events = 0;    ///< events dispatched inside timed loops
+  std::uint64_t wall_ns = 0;   ///< total host time spent dispatching
+
+  double wall_ms() const noexcept {
+    return static_cast<double>(wall_ns) / 1e6;
+  }
+  /// Events dispatched per wall-clock second (0 if nothing was timed).
+  double events_per_sec() const noexcept;
+};
+
 /// Chooses per-message delivery delays and reacts to quiescence.
 class scheduler {
  public:
@@ -34,6 +50,11 @@ class scheduler {
   /// senders via the network reference.  Return true iff anything was
   /// injected (the run loop continues); false ends the run.
   virtual bool on_quiescence(network&) { return false; }
+
+  /// Timing hook: called by the network after each event loop with the
+  /// cumulative run_timing.  Default is a no-op; adaptive schedulers and
+  /// telemetry collectors can override to observe throughput.
+  virtual void on_run_timing(const run_timing&) {}
 };
 
 /// Every message takes exactly one time unit.  With the deterministic

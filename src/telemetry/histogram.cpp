@@ -1,0 +1,88 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "telemetry/json.h"
+
+namespace asyncrd::telemetry {
+
+std::size_t histogram::bucket_of(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram::bucket_lower(std::size_t b) noexcept {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t histogram::bucket_upper(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void histogram::record(std::uint64_t value) noexcept {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void histogram::merge(const histogram& other) noexcept {
+  for (std::size_t b = 0; b < bucket_count; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (0-based, fractional).
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bucket_count; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += buckets_[b];
+    const double hi_rank = static_cast<double>(seen - 1);
+    if (rank > hi_rank) continue;
+    // Interpolate within [lower, upper] of this bucket by rank position.
+    const double lo = static_cast<double>(bucket_lower(b));
+    const double hi = static_cast<double>(bucket_upper(b));
+    double frac = 0.0;
+    if (hi_rank > lo_rank) frac = (rank - lo_rank) / (hi_rank - lo_rank);
+    const double est = lo + frac * (hi - lo);
+    // The exact extremes are tracked; never report outside them.
+    return std::clamp(est, static_cast<double>(min()),
+                      static_cast<double>(max_));
+  }
+  return static_cast<double>(max_);
+}
+
+void histogram::write_json(json_writer& w) const {
+  w.begin_object();
+  w.kv("count", count_);
+  w.kv("sum", sum_);
+  w.kv("min", min());
+  w.kv("max", max_);
+  w.kv("mean", mean());
+  w.kv("p50", p50());
+  w.kv("p90", p90());
+  w.kv("p99", p99());
+  w.key("buckets").begin_array();
+  for (std::size_t b = 0; b < bucket_count; ++b) {
+    if (buckets_[b] == 0) continue;
+    w.begin_object();
+    w.kv("lo", bucket_lower(b));
+    w.kv("hi", bucket_upper(b));
+    w.kv("count", buckets_[b]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace asyncrd::telemetry

@@ -1,0 +1,63 @@
+// Log-bucketed histogram for non-negative integer samples (per-node loads,
+// message sizes, event-loop latencies).  Fixed memory: 65 power-of-two
+// buckets regardless of sample count, so it can sit on hot paths and still
+// summarize a million-node run.
+//
+// Bucket scheme: bucket 0 holds the value 0; bucket k (k >= 1) holds
+// values in [2^(k-1), 2^k - 1] — i.e. a value lands in bucket bit_width(v).
+// Quantiles interpolate linearly inside the winning bucket and are clamped
+// to the exact observed min/max, so p0/p100 are exact and mid quantiles are
+// within a factor of 2 (the bucket resolution).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace asyncrd::telemetry {
+
+class json_writer;
+
+class histogram {
+ public:
+  static constexpr std::size_t bucket_count = 65;
+
+  void record(std::uint64_t value) noexcept;
+  void merge(const histogram& other) noexcept;
+  void reset() noexcept { *this = histogram(); }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Quantile for q in [0, 1]: q = 0.5 is the median.  Returns 0 on an
+  /// empty histogram.
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+
+  /// Bucket index a value lands in (== bit_width(value)).
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  /// Inclusive value range [lower, upper] of a bucket.
+  static std::uint64_t bucket_lower(std::size_t b) noexcept;
+  static std::uint64_t bucket_upper(std::size_t b) noexcept;
+
+  std::uint64_t bucket(std::size_t b) const noexcept { return buckets_[b]; }
+
+  /// {count, sum, min, max, mean, p50, p90, p99, buckets:[{lo,hi,count}...]}
+  /// — empty buckets are omitted from the array.
+  void write_json(json_writer& w) const;
+
+ private:
+  std::array<std::uint64_t, bucket_count> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace asyncrd::telemetry

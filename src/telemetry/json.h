@@ -1,0 +1,104 @@
+// Dependency-free JSON: a streaming writer (the only serializer the
+// telemetry layer needs) and a minimal recursive-descent parser used by
+// round-trip tests and the bench-output validator (tools/json_check).
+//
+// The writer tracks container nesting and inserts commas itself, so call
+// sites read like the document they produce:
+//
+//   json_writer w;
+//   w.begin_object();
+//   w.key("bench").value("thm5");
+//   w.key("n_values").begin_array().value(64).value(128).end_array();
+//   w.end_object();
+//   std::string doc = w.take();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace asyncrd::telemetry {
+
+/// Escapes a string for inclusion in a JSON document (no surrounding
+/// quotes): backslash, quote, and control characters per RFC 8259.
+std::string json_escape(std::string_view s);
+
+class json_writer {
+ public:
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array();
+  json_writer& end_array();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// container.
+  json_writer& key(std::string_view k);
+
+  json_writer& value(std::string_view v);
+  json_writer& value(const char* v) { return value(std::string_view(v)); }
+  json_writer& value(bool v);
+  json_writer& value(double v);  // NaN/Inf have no JSON spelling: emits null
+  json_writer& value(std::uint64_t v);
+  json_writer& value(std::int64_t v);
+  json_writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  json_writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  json_writer& null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  json_writer& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document (the writer is left empty).
+  std::string take();
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One char per open container: 'o' / 'a'; paired with "first element
+  /// already written" flags.
+  std::vector<std::pair<char, bool>> stack_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (null, bool, number, string, array, object).  Numbers
+/// are doubles — exact for the integer magnitudes telemetry emits.
+struct json_value {
+  using array = std::vector<json_value>;
+  using object = std::map<std::string, json_value>;
+
+  std::variant<std::nullptr_t, bool, double, std::string, array, object> v =
+      nullptr;
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(v); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(v); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(v); }
+  bool is_array() const noexcept { return std::holds_alternative<array>(v); }
+  bool is_object() const noexcept { return std::holds_alternative<object>(v); }
+
+  bool as_bool() const { return std::get<bool>(v); }
+  double as_number() const { return std::get<double>(v); }
+  const std::string& as_string() const { return std::get<std::string>(v); }
+  const array& as_array() const { return std::get<array>(v); }
+  const object& as_object() const { return std::get<object>(v); }
+
+  /// Object member lookup; nullptr if not an object or key absent.
+  const json_value* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).  On failure returns nullopt and, if `error` is
+/// non-null, stores a message with the byte offset.
+std::optional<json_value> json_parse(std::string_view text,
+                                     std::string* error = nullptr);
+
+}  // namespace asyncrd::telemetry

@@ -1,0 +1,56 @@
+#include "telemetry/metrics.h"
+
+#include "telemetry/json.h"
+
+namespace asyncrd::telemetry {
+
+namespace {
+
+/// Heterogeneous-lookup emplace: avoids a std::string allocation when the
+/// instrument already exists.
+template <typename Map>
+typename Map::mapped_type& find_or_create(Map& m, std::string_view name) {
+  const auto it = m.find(name);
+  if (it != m.end()) return it->second;
+  return m.emplace(std::string(name), typename Map::mapped_type{})
+      .first->second;
+}
+
+}  // namespace
+
+counter& registry::get_counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+histogram& registry::get_histogram(std::string_view name) {
+  return find_or_create(histograms_, name);
+}
+
+void registry::reset() {
+  for (auto& [name, c] : counters_) c = counter{};
+  for (auto& [name, g] : gauges_) g = gauge{};
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void registry::write_json(json_writer& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    h.write_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace asyncrd::telemetry

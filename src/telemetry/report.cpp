@@ -1,0 +1,127 @@
+#include "telemetry/report.h"
+
+#include "telemetry/json.h"
+
+namespace asyncrd::telemetry {
+
+void run_report::write_json(json_writer& w) const {
+  w.begin_object();
+  w.kv("label", label);
+  w.kv("variant", variant);
+  w.kv("seed", seed);
+  w.kv("nodes", nodes);
+  w.kv("edges", edges);
+  w.kv("completed", completed);
+  w.kv("leaders", leaders);
+  w.kv("events_processed", events_processed);
+  w.kv("completion_time", completion_time);
+  w.kv("wall_ms", wall_ms);
+  w.kv("events_per_sec", events_per_sec);
+  w.kv("total_messages", total_messages);
+  w.kv("total_bits", total_bits);
+  w.kv("id_bits", id_bits);
+
+  w.key("messages_by_type").begin_object();
+  for (const auto& [type, st] : messages_by_type) {
+    w.key(type).begin_object();
+    w.kv("count", st.count);
+    w.kv("bits", st.bits);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("load");
+  load.write_json(w);
+  w.kv("max_load", max_load);
+  if (hottest == invalid_node)
+    w.key("hottest_node").null();
+  else
+    w.kv("hottest_node", static_cast<std::uint64_t>(hottest));
+
+  w.key("transitions").begin_object();
+  for (const auto& [edge, count] : transitions) w.kv(edge, count);
+  w.end_object();
+
+  w.key("extra").begin_object();
+  for (const auto& [k, v] : extra) w.kv(k, v);
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string run_report::to_json() const {
+  json_writer w;
+  write_json(w);
+  return w.take();
+}
+
+run_report collect_run_report(const core::discovery_run& run,
+                              const sim::run_result& result,
+                              const sim::load_observer* load,
+                              const core::transition_recorder* transitions) {
+  run_report rep;
+  rep.variant = std::string(core::to_string(run.cfg().algo));
+  rep.nodes = run.net().node_count();
+  rep.completed = result.completed;
+  rep.leaders = run.leaders().size();
+  rep.events_processed = result.events_processed;
+  rep.completion_time = run.net().now();
+  const sim::run_timing& timing = run.net().timing();
+  rep.wall_ms = timing.wall_ms();
+  rep.events_per_sec = timing.events_per_sec();
+
+  const sim::stats& st = run.statistics();
+  rep.total_messages = st.total_messages();
+  rep.total_bits = st.total_bits();
+  rep.id_bits = st.id_bits();
+  for (const auto& [type, ts] : st.by_type()) rep.messages_by_type[type] = ts;
+
+  if (load != nullptr) {
+    for (const std::uint64_t l : load->loads()) rep.load.record(l);
+    rep.max_load = load->max_load();
+    rep.hottest = load->hottest();
+  }
+  if (transitions != nullptr)
+    rep.transitions = transitions->edge_multiplicities();
+  return rep;
+}
+
+run_recorder::metrics_observer::metrics_observer(registry& reg)
+    : sends_(&reg.get_counter("net.sends")),
+      delivers_(&reg.get_counter("net.delivers")),
+      wakes_(&reg.get_counter("net.wakes")),
+      payload_ids_(&reg.get_histogram("net.payload_ids")) {}
+
+void run_recorder::metrics_observer::on_send(sim::sim_time, node_id, node_id,
+                                             const sim::message& m) {
+  sends_->inc();
+  payload_ids_->record(m.id_fields());
+}
+
+void run_recorder::metrics_observer::on_deliver(sim::sim_time, node_id,
+                                                node_id, const sim::message&) {
+  delivers_->inc();
+}
+
+void run_recorder::metrics_observer::on_wake(sim::sim_time, node_id) {
+  wakes_->inc();
+}
+
+run_recorder::run_recorder(core::discovery_run& run)
+    : run_(&run), metrics_obs_(metrics_) {
+  run_->net().add_observer(&load_);
+  run_->net().add_observer(&metrics_obs_);
+  run_->set_trace(&transitions_);
+}
+
+run_recorder::~run_recorder() {
+  run_->net().remove_observer(&metrics_obs_);
+  run_->net().remove_observer(&load_);
+  run_->set_trace(nullptr);
+}
+
+run_report run_recorder::report(const sim::run_result& result) const {
+  return collect_run_report(*run_, result, &load_, &transitions_);
+}
+
+}  // namespace asyncrd::telemetry

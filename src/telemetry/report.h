@@ -1,0 +1,125 @@
+// Run reports: one machine-readable snapshot per discovery execution.
+//
+// A run_report collects everything the paper's quantitative claims are
+// stated over — per-type message and bit counts (Thm 5-7, Lem 5.5-5.10),
+// the per-node load distribution (hotspot analysis), state-transition
+// multiplicities (Fig 1), events processed, virtual completion time, and
+// host wall-clock / event-throughput — and serializes it as JSON so two
+// runs can be diffed (see docs/OBSERVABILITY.md for the schema and how to
+// compare files).
+//
+// Usage (the run_recorder arms every observer in one line):
+//
+//   core::discovery_run run(g, cfg, sched);
+//   telemetry::run_recorder rec(run);
+//   run.wake_all();
+//   const auto result = run.run();
+//   telemetry::run_report rep = rec.report(result);
+//   rep.label = "my_experiment";
+//   std::ofstream(path) << rep.to_json();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+#include "core/runner.h"
+#include "core/trace.h"
+#include "sim/load_observer.h"
+#include "sim/stats.h"
+#include "telemetry/histogram.h"
+#include "telemetry/metrics.h"
+
+namespace asyncrd::telemetry {
+
+class json_writer;
+
+struct run_report {
+  // --- caller-supplied context -----------------------------------------
+  std::string label;    ///< what was run (bench name, experiment id)
+  std::string variant;  ///< algorithm variant name, if applicable
+  std::uint64_t seed = 0;
+  std::uint64_t edges = 0;  ///< |E0| (the run does not retain the graph)
+
+  // --- measured --------------------------------------------------------
+  std::uint64_t nodes = 0;
+  bool completed = false;
+  std::uint64_t leaders = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t completion_time = 0;  ///< virtual time at quiescence
+  double wall_ms = 0.0;               ///< host time in the event loop
+  double events_per_sec = 0.0;        ///< event throughput (host clock)
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t id_bits = 0;
+  std::map<std::string, sim::type_stats, std::less<>> messages_by_type;
+
+  /// Per-node load distribution (sent + received per node), as a
+  /// histogram — O(log max) memory however large the network.
+  histogram load;
+  std::uint64_t max_load = 0;
+  node_id hottest = invalid_node;
+
+  /// State-transition multiplicities, "explore -> wait" style keys.
+  std::map<std::string, std::uint64_t> transitions;
+
+  /// Free-form scalar metrics (checker verdicts, bound ratios, ...).
+  std::map<std::string, double> extra;
+
+  void write_json(json_writer& w) const;
+  std::string to_json() const;
+};
+
+/// Fills the measured fields of a run_report from a finished execution.
+/// `load` and `transitions` are optional — pass the observers that were
+/// armed during the run (run_recorder does this for you).
+run_report collect_run_report(const core::discovery_run& run,
+                              const sim::run_result& result,
+                              const sim::load_observer* load = nullptr,
+                              const core::transition_recorder* transitions =
+                                  nullptr);
+
+/// Arms a load observer, a transition recorder, and a metrics registry on a
+/// discovery_run in one shot (via the network's multi-observer), and builds
+/// the report afterwards.  Detaches everything on destruction.
+class run_recorder {
+ public:
+  explicit run_recorder(core::discovery_run& run);
+  ~run_recorder();
+
+  run_recorder(const run_recorder&) = delete;
+  run_recorder& operator=(const run_recorder&) = delete;
+
+  run_report report(const sim::run_result& result) const;
+
+  const sim::load_observer& load() const noexcept { return load_; }
+  const core::transition_recorder& transitions() const noexcept {
+    return transitions_;
+  }
+  registry& metrics() noexcept { return metrics_; }
+
+ private:
+  /// Feeds the metrics registry from network events.
+  class metrics_observer final : public sim::observer {
+   public:
+    explicit metrics_observer(registry& reg);
+    void on_send(sim::sim_time, node_id, node_id, const sim::message&) override;
+    void on_deliver(sim::sim_time, node_id, node_id, const sim::message&) override;
+    void on_wake(sim::sim_time, node_id) override;
+
+   private:
+    counter* sends_;
+    counter* delivers_;
+    counter* wakes_;
+    histogram* payload_ids_;
+  };
+
+  core::discovery_run* run_;
+  sim::load_observer load_;
+  core::transition_recorder transitions_;
+  registry metrics_;
+  metrics_observer metrics_obs_;
+};
+
+}  // namespace asyncrd::telemetry

@@ -64,6 +64,56 @@ TEST(EventLog, CapacityDropsAreCounted) {
   EXPECT_GT(log.dropped(), 0u);
 }
 
+TEST(EventLog, RingRetainsNewestWithExactDropCount) {
+  sim::event_log log(4);
+  for (sim::sim_time t = 0; t < 10; ++t)
+    log.on_wake(t, static_cast<node_id>(t));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);  // 10 pushed, 4 retained
+  const auto evs = log.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    // Oldest-first iteration over the newest window: times 6..9.
+    EXPECT_EQ(evs[i].at, static_cast<sim::sim_time>(6 + i));
+    EXPECT_EQ(evs[i].to, static_cast<node_id>(6 + i));
+  }
+}
+
+/// Minimal concrete message for driving the log directly.
+class stub_msg final : public sim::message {
+ public:
+  explicit stub_msg(std::string name) : name_(std::move(name)) {}
+  std::string_view type_name() const noexcept override { return name_; }
+  std::size_t id_fields() const noexcept override { return 1; }
+
+ private:
+  std::string name_;
+};
+
+TEST(EventLog, OverflowKeepsFiltersAndRenderConsistent) {
+  sim::event_log log(3);
+  const stub_msg search("search"), info("info");
+  log.on_wake(0, 0);
+  log.on_send(1, 0, 1, search);
+  log.on_deliver(2, 0, 1, search);
+  log.on_send(3, 1, 2, info);  // evicts the wake
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_TRUE(log.of_kind(sim::logged_event::kind::wake).empty());
+  EXPECT_EQ(log.of_kind(sim::logged_event::kind::send).size(), 2u);
+  std::ostringstream ss;
+  log.render(ss);
+  EXPECT_NE(ss.str().find("1 older events dropped"), std::string::npos);
+}
+
+TEST(EventLog, ZeroCapacityDropsEverything) {
+  sim::event_log log(0);
+  log.on_wake(1, 1);
+  log.on_wake(2, 2);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_TRUE(log.events().empty());
+}
+
 TEST(EventLog, RenderProducesReadableLines) {
   const auto log = run_logged(graph::directed_path(3), 1 << 16);
   std::ostringstream ss;

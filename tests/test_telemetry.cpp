@@ -1,0 +1,403 @@
+// Telemetry subsystem: histogram buckets and quantiles, the JSON
+// writer/parser pair, the network's multi-observer fan-out, the metrics
+// registry, and run_report determinism on a fixed seed/topology.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "telemetry/histogram.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+
+namespace asyncrd {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket k = [2^(k-1), 2^k - 1].
+  EXPECT_EQ(telemetry::histogram::bucket_of(0), 0u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(1), 1u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(2), 2u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(3), 2u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(4), 3u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(7), 3u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(8), 4u);
+  EXPECT_EQ(telemetry::histogram::bucket_of(UINT64_MAX), 64u);
+
+  for (std::size_t b = 0; b < telemetry::histogram::bucket_count; ++b) {
+    EXPECT_EQ(telemetry::histogram::bucket_of(telemetry::histogram::bucket_lower(b)), b);
+    EXPECT_EQ(telemetry::histogram::bucket_of(telemetry::histogram::bucket_upper(b)), b);
+  }
+  EXPECT_EQ(telemetry::histogram::bucket_lower(1), 1u);
+  EXPECT_EQ(telemetry::histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(telemetry::histogram::bucket_lower(4), 8u);
+  EXPECT_EQ(telemetry::histogram::bucket_upper(4), 15u);
+}
+
+TEST(Histogram, CountsSumsMinMaxMean) {
+  telemetry::histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+
+  for (const std::uint64_t v : {5u, 0u, 17u, 5u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 27u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 17u);
+  EXPECT_DOUBLE_EQ(h.mean(), 27.0 / 4.0);
+  EXPECT_EQ(h.bucket(0), 1u);                             // the 0
+  EXPECT_EQ(h.bucket(telemetry::histogram::bucket_of(5)), 2u);   // both 5s
+  EXPECT_EQ(h.bucket(telemetry::histogram::bucket_of(17)), 1u);  // the 17
+}
+
+TEST(Histogram, QuantilesClampedToObservedRange) {
+  telemetry::histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);    // exact min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // exact max
+  // Mid quantiles are bucket-resolution approximations: within a factor
+  // of 2 of the true value.
+  EXPECT_GE(h.p50(), 25.0);
+  EXPECT_LE(h.p50(), 100.0);
+  EXPECT_GE(h.p90(), 45.0);
+  EXPECT_LE(h.p90(), 100.0);
+  // Single-value histogram: every quantile is that value.
+  telemetry::histogram one;
+  one.record(42);
+  EXPECT_DOUBLE_EQ(one.quantile(0.25), 42.0);
+  EXPECT_DOUBLE_EQ(one.p99(), 42.0);
+}
+
+TEST(Histogram, MergeAndReset) {
+  telemetry::histogram a, b;
+  a.record(3);
+  a.record(100);
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 110u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 100u);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+}
+
+// --------------------------------------------------------------------- json
+
+TEST(Json, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(telemetry::json_escape("plain"), "plain");
+  EXPECT_EQ(telemetry::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(telemetry::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(telemetry::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, WriterProducesValidNestedDocument) {
+  telemetry::json_writer w;
+  w.begin_object();
+  w.kv("name", "x -> y");
+  w.kv("ok", true);
+  w.kv("n", std::uint64_t{42});
+  w.kv("ratio", 1.5);
+  w.key("list").begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("nested").begin_object();
+  w.kv("deep", -7);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\"name\":\"x -> y\",\"ok\":true,\"n\":42,\"ratio\":1.5,"
+            "\"list\":[1,2,3],\"nested\":{\"deep\":-7}}");
+}
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  telemetry::json_writer w;
+  w.begin_object();
+  w.kv("text", "quote \" backslash \\ newline \n unicode \xc3\xa9");
+  w.kv("tiny", 0.001);
+  w.kv("big", 1e18);
+  w.kv("neg", std::int64_t{-123});
+  w.key("null_here").null();
+  w.end_object();
+
+  std::string err;
+  const auto parsed = telemetry::json_parse(w.take(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->find("text")->as_string(),
+            "quote \" backslash \\ newline \n unicode \xc3\xa9");
+  EXPECT_DOUBLE_EQ(parsed->find("tiny")->as_number(), 0.001);
+  EXPECT_DOUBLE_EQ(parsed->find("big")->as_number(), 1e18);
+  EXPECT_DOUBLE_EQ(parsed->find("neg")->as_number(), -123.0);
+  EXPECT_TRUE(parsed->find("null_here")->is_null());
+  EXPECT_EQ(parsed->find("absent"), nullptr);
+}
+
+TEST(Json, ParserHandlesEscapesAndRejectsGarbage) {
+  const auto ok = telemetry::json_parse(
+      R"({"s":"tab\t quote\" uA pair😀","a":[true,false,null]})");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->find("s")->as_string(), "tab\t quote\" uA pair\xF0\x9F\x98\x80");
+  EXPECT_EQ(ok->find("a")->as_array().size(), 3u);
+
+  std::string err;
+  EXPECT_FALSE(telemetry::json_parse("{", &err).has_value());
+  EXPECT_FALSE(telemetry::json_parse("[1,]", &err).has_value());
+  EXPECT_FALSE(telemetry::json_parse("{\"a\":1} trailing", &err).has_value());
+  EXPECT_FALSE(telemetry::json_parse("", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(Metrics, RegistryInstrumentsAreStableAndResettable) {
+  telemetry::registry reg;
+  auto& c = reg.get_counter("net.sends");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(reg.get_counter("net.sends").value(), 5u);
+  EXPECT_EQ(&reg.get_counter("net.sends"), &c);  // stable address
+
+  reg.get_gauge("queue.depth").set(3.5);
+  reg.get_gauge("queue.depth").add(0.5);
+  EXPECT_DOUBLE_EQ(reg.get_gauge("queue.depth").value(), 4.0);
+
+  reg.get_histogram("lat").record(9);
+  EXPECT_EQ(reg.get_histogram("lat").count(), 1u);
+
+  reg.reset();
+  EXPECT_EQ(reg.get_counter("net.sends").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.get_gauge("queue.depth").value(), 0.0);
+  EXPECT_EQ(reg.get_histogram("lat").count(), 0u);
+  EXPECT_EQ(reg.counters().size(), 1u);  // names survive reset
+
+  telemetry::json_writer w;
+  reg.write_json(w);
+  const auto parsed = telemetry::json_parse(w.take());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NE(parsed->find("counters"), nullptr);
+  EXPECT_NE(parsed->find("gauges"), nullptr);
+  EXPECT_NE(parsed->find("histograms"), nullptr);
+}
+
+// ----------------------------------------------------- multi-observer
+
+/// Appends "<tag><event>" markers so tests can assert fan-out order.
+class tagging_observer final : public sim::observer {
+ public:
+  tagging_observer(std::string tag, std::vector<std::string>& sink)
+      : tag_(std::move(tag)), sink_(&sink) {}
+
+  void on_send(sim::sim_time, node_id, node_id, const sim::message&) override {
+    sink_->push_back(tag_ + ":send");
+  }
+  void on_deliver(sim::sim_time, node_id, node_id, const sim::message&) override {
+    sink_->push_back(tag_ + ":deliver");
+  }
+  void on_wake(sim::sim_time, node_id v) override {
+    sink_->push_back(tag_ + ":wake" + std::to_string(v));
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* sink_;
+};
+
+TEST(MultiObserver, FansOutInRegistrationOrder) {
+  std::vector<std::string> calls;
+  tagging_observer a("a", calls), b("b", calls);
+  sim::multi_observer fan;
+  EXPECT_TRUE(fan.empty());
+  fan.add(&a);
+  fan.add(&b);
+  EXPECT_EQ(fan.size(), 2u);
+
+  fan.on_wake(0, 7);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], "a:wake7");  // registration order
+  EXPECT_EQ(calls[1], "b:wake7");
+
+  calls.clear();
+  fan.remove(&a);
+  fan.on_wake(1, 8);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], "b:wake8");
+
+  fan.clear();
+  EXPECT_TRUE(fan.empty());
+}
+
+TEST(MultiObserver, NetworkDispatchesToEveryAttachedObserver) {
+  const auto g = graph::directed_path(4);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+
+  std::vector<std::string> calls;
+  tagging_observer first("1", calls), second("2", calls);
+  run.net().add_observer(&first);
+  run.net().add_observer(&second);
+  run.wake_all();
+  run.run();
+  run.net().remove_observer(&first);
+  run.net().remove_observer(&second);
+
+  ASSERT_FALSE(calls.empty());
+  ASSERT_EQ(calls.size() % 2, 0u);
+  std::size_t firsts = 0, seconds = 0;
+  for (std::size_t i = 0; i < calls.size(); i += 2) {
+    // Each event reaches both observers back to back, first one first.
+    EXPECT_EQ(calls[i].substr(1), calls[i + 1].substr(1));
+    EXPECT_EQ(calls[i][0], '1');
+    EXPECT_EQ(calls[i + 1][0], '2');
+    ++firsts;
+    ++seconds;
+  }
+  EXPECT_EQ(firsts, seconds);
+}
+
+TEST(MultiObserver, LegacySetObserverStillWorks) {
+  const auto g = graph::directed_path(3);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  std::vector<std::string> calls;
+  tagging_observer only("x", calls);
+  run.net().set_observer(&only);
+  run.wake_all();
+  run.run();
+  EXPECT_FALSE(calls.empty());
+  const std::size_t seen = calls.size();
+  run.net().set_observer(nullptr);  // detaches
+  run.net().wake(0);
+  run.net().run_to_quiescence();
+  EXPECT_EQ(calls.size(), seen);
+}
+
+// ---------------------------------------------------------- run_report
+
+TEST(RunReport, CollectsEveryMeasuredDimension) {
+  const auto g = graph::random_weakly_connected(50, 80, 11);
+  sim::random_delay_scheduler sched(11);
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  telemetry::run_recorder rec(run);
+  run.wake_all();
+  const auto result = run.run();
+
+  auto rep = rec.report(result);
+  rep.label = "unit";
+  rep.variant = "generic";
+  rep.seed = 11;
+  rep.edges = g.edge_count();
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.nodes, 50u);
+  EXPECT_EQ(rep.leaders, 1u);
+  EXPECT_GT(rep.events_processed, 0u);
+  EXPECT_GT(rep.completion_time, 0u);
+  EXPECT_GT(rep.total_messages, 0u);
+  EXPECT_GT(rep.total_bits, rep.total_messages);
+  EXPECT_FALSE(rep.messages_by_type.empty());
+  EXPECT_EQ(rep.load.count(), 50u);  // one load sample per node
+  EXPECT_EQ(rep.load.max(), rep.max_load);
+  EXPECT_NE(rep.hottest, invalid_node);
+  EXPECT_FALSE(rep.transitions.empty());
+  // Every node leaves asleep exactly once.
+  EXPECT_EQ(rep.transitions.at("asleep -> explore"), 50u);
+  EXPECT_GE(rep.events_per_sec, 0.0);
+
+  // Registry picked up the same event stream the stats did.
+  EXPECT_EQ(rec.metrics().get_counter("net.sends").value(), rep.total_messages);
+  EXPECT_EQ(rec.metrics().get_counter("net.delivers").value(),
+            rep.total_messages);
+  EXPECT_EQ(rec.metrics().get_counter("net.wakes").value(), 50u);
+}
+
+TEST(RunReport, JsonHasRequiredKeysAndParses) {
+  const auto g = graph::directed_path(6);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  telemetry::run_recorder rec(run);
+  run.wake_all();
+  auto rep = rec.report(run.run());
+  rep.label = "schema";
+  rep.variant = "generic";
+  rep.extra["custom_metric"] = 1.25;
+
+  std::string err;
+  const auto parsed = telemetry::json_parse(rep.to_json(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  for (const char* k :
+       {"label", "variant", "seed", "nodes", "edges", "completed", "leaders",
+        "events_processed", "completion_time", "wall_ms", "events_per_sec",
+        "total_messages", "total_bits", "messages_by_type", "load",
+        "max_load", "transitions", "extra"}) {
+    EXPECT_NE(parsed->find(k), nullptr) << "missing key " << k;
+  }
+  EXPECT_DOUBLE_EQ(parsed->find("extra")->find("custom_metric")->as_number(),
+                   1.25);
+  const auto* load = parsed->find("load");
+  EXPECT_NE(load->find("p50"), nullptr);
+  EXPECT_NE(load->find("buckets"), nullptr);
+}
+
+/// Golden determinism: identical seed/topology => identical report JSON,
+/// modulo the host-clock fields.
+TEST(RunReport, DeterministicAcrossRunsUpToWallClock) {
+  const auto once = [] {
+    const auto g = graph::random_weakly_connected(30, 45, 9);
+    sim::random_delay_scheduler sched(9);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    telemetry::run_recorder rec(run);
+    run.wake_all();
+    auto rep = rec.report(run.run());
+    rep.label = "golden";
+    rep.variant = "generic";
+    rep.seed = 9;
+    rep.edges = g.edge_count();
+    // Host timing differs run to run; zero it before comparing.
+    rep.wall_ms = 0.0;
+    rep.events_per_sec = 0.0;
+    return rep.to_json();
+  };
+  const std::string a = once();
+  const std::string b = once();
+  EXPECT_EQ(a, b);
+  ASSERT_TRUE(telemetry::json_parse(a).has_value());
+}
+
+TEST(RunRecorder, DetachesOnDestruction) {
+  const auto g = graph::directed_path(3);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  {
+    telemetry::run_recorder rec(run);
+    run.wake_all();
+    run.run();
+    EXPECT_GT(rec.load().loads().size(), 0u);
+  }
+  // After the recorder is gone the network must be observer-free: another
+  // run segment must not touch freed memory (asan-visible if it did).
+  run.net().wake(0);
+  run.net().run_to_quiescence();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -1,0 +1,88 @@
+// json_check — validates telemetry JSON emitted by benches and the CLI.
+//
+//   json_check FILE...            each FILE must be a bench report with the
+//                                 keys {bench, ok, wall_ms, n_values,
+//                                 measured, predicted_bound,
+//                                 messages_by_type}
+//   json_check --report FILE...   each FILE must be a run report with the
+//                                 keys {label, variant, nodes,
+//                                 total_messages, messages_by_type, wall_ms,
+//                                 load, transitions}
+//
+// Exit 0 iff every file parses and carries its required keys.  CI runs this
+// over the bench-smoke outputs; ctest runs it over a discovery_cli --json
+// report and a real bench emission (see tests/CMakeLists.txt).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace {
+
+using asyncrd::telemetry::json_parse;
+using asyncrd::telemetry::json_value;
+
+const std::vector<std::string> bench_keys = {
+    "bench",    "ok",       "wall_ms",         "n_values",
+    "measured", "predicted_bound", "messages_by_type"};
+
+const std::vector<std::string> report_keys = {
+    "label",          "variant", "nodes",   "total_messages",
+    "messages_by_type", "wall_ms", "load",  "transitions"};
+
+bool check_file(const std::string& path, const std::vector<std::string>& keys) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = json_parse(buf.str(), &err);
+  if (!doc.has_value()) {
+    std::cerr << path << ": parse error: " << err << '\n';
+    return false;
+  }
+  if (!doc->is_object()) {
+    std::cerr << path << ": top-level value is not an object\n";
+    return false;
+  }
+  bool ok = true;
+  for (const std::string& k : keys) {
+    if (doc->find(k) == nullptr) {
+      std::cerr << path << ": missing required key \"" << k << "\"\n";
+      ok = false;
+    }
+  }
+  if (ok) std::cout << path << ": OK\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool report_mode = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--report") {
+      report_mode = true;
+    } else if (a == "--bench") {
+      report_mode = false;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: json_check [--report|--bench] FILE...\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (const std::string& f : files)
+    all_ok = check_file(f, report_mode ? report_keys : bench_keys) && all_ok;
+  return all_ok ? 0 : 1;
+}
