@@ -9,6 +9,9 @@
 //     --dot             print the knowledge graph as Graphviz DOT and exit
 //     --quiet           suppress the per-type message table
 //     --json PATH       write a telemetry run report (docs/OBSERVABILITY.md)
+//     --trace PATH      write a causal trace as Chrome trace-event /
+//                       Perfetto JSON, loadable in ui.perfetto.dev and
+//                       readable by tools/trace_analyze
 //
 // Examples:
 //   echo "0 1
@@ -26,7 +29,10 @@
 #include "core/runner.h"
 #include "graph/graphio.h"
 #include "graph/topology.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/perfetto.h"
 #include "telemetry/report.h"
+#include "telemetry/tracer.h"
 
 namespace {
 
@@ -42,7 +48,8 @@ using namespace asyncrd;
       "  --probe V             probe the leader from node V afterwards\n"
       "  --dot                 dump Graphviz DOT of E0 and exit\n"
       "  --quiet               no per-type breakdown\n"
-      "  --json PATH           write a JSON run report to PATH\n";
+      "  --json PATH           write a JSON run report to PATH\n"
+      "  --trace PATH          write a causal Perfetto trace to PATH\n";
   std::exit(2);
 }
 
@@ -71,7 +78,7 @@ graph::digraph generate(const std::string& spec) {
 int main(int argc, char** argv) {
   std::string variant_name = "generic";
   std::uint64_t seed = 1;
-  std::string gen_spec, input, json_path;
+  std::string gen_spec, input, json_path, trace_path;
   bool want_dot = false, quiet = false;
   node_id probe_from = invalid_node;
 
@@ -88,6 +95,7 @@ int main(int argc, char** argv) {
     else if (a == "--dot") want_dot = true;
     else if (a == "--quiet") quiet = true;
     else if (a == "--json") json_path = next();
+    else if (a == "--trace") trace_path = next();
     else if (a == "--version") {
       std::cout << "asyncrd " << asyncrd::version << '\n';
       return 0;
@@ -128,6 +136,11 @@ int main(int argc, char** argv) {
   core::discovery_run run(g, cfg, *sched);
   std::unique_ptr<telemetry::run_recorder> rec;
   if (!json_path.empty()) rec = std::make_unique<telemetry::run_recorder>(run);
+  std::unique_ptr<telemetry::tracer> tr;
+  if (!trace_path.empty()) {
+    tr = std::make_unique<telemetry::tracer>(run.net());
+    run.net().add_observer(tr.get());
+  }
   run.wake_all();
   const auto r = run.run();
   if (!r.completed) {
@@ -174,6 +187,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "[json] " << json_path << '\n';
+  }
+
+  if (tr) {
+    const auto cp = telemetry::extract_critical_path(tr->events());
+    std::cout << "critical path: " << cp.length << " hops (sim time "
+              << run.net().now() << ")\n";
+    std::ofstream out(trace_path);
+    telemetry::write_perfetto_trace(out, tr->events(), "discovery_cli");
+    if (!out) {
+      std::cerr << "failed to write " << trace_path << '\n';
+      return 1;
+    }
+    std::cout << "[trace] " << trace_path << '\n';
+    run.net().remove_observer(tr.get());
   }
 
   std::cout << "spec check: " << (rep.ok() ? "OK" : "FAILED") << '\n';

@@ -2,18 +2,27 @@
 // connected knowledge graph and inspect the outcome.
 //
 //   $ ./quickstart
+//   $ ./quickstart trace.json      # also write a causal Perfetto trace
 //
 // Twelve peers, each initially knowing one or two others (a weakly
 // connected digraph).  After the run, exactly one peer is the leader, the
-// leader knows every id, and every other peer knows the leader.
+// leader knows every id, and every other peer knows the leader.  With a
+// path argument the run is causally traced and exported as Chrome
+// trace-event JSON — open it in ui.perfetto.dev to see one track per peer
+// and an arrow per message (docs/OBSERVABILITY.md walks through it).
+#include <fstream>
 #include <iostream>
 
 #include "core/checker.h"
 #include "core/runner.h"
 #include "graph/digraph.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/perfetto.h"
+#include "telemetry/tracer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrd;
+  const char* trace_path = argc > 1 ? argv[1] : nullptr;
 
   // --- 1. Describe who initially knows whom (the knowledge graph E0).
   graph::digraph g;
@@ -38,7 +47,9 @@ int main() {
   core::discovery_run run(g, cfg, sched);
 
   // --- 3. Wake everyone (asynchronously — wake events race with traffic)
-  // and let the network quiesce.
+  // and let the network quiesce.  A tracer records who-caused-what.
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
   run.wake_all();
   run.run();
 
@@ -56,7 +67,18 @@ int main() {
     std::cout << "  " << type << ": " << st.count << " messages, " << st.bits
               << " bits\n";
 
-  // --- 5. Verify the spec (the library ships its own checker).
+  // --- 5. The causal view: which chain of messages bounded the run.
+  const auto cp = telemetry::extract_critical_path(tr.events());
+  std::cout << "critical path: " << cp.length << " hops (virtual time "
+            << run.net().now() << ")\n";
+  if (trace_path != nullptr) {
+    std::ofstream out(trace_path);
+    telemetry::write_perfetto_trace(out, tr.events(), "quickstart");
+    std::cout << "trace written to " << trace_path
+              << " (load it in ui.perfetto.dev)\n";
+  }
+
+  // --- 6. Verify the spec (the library ships its own checker).
   const core::check_report rep = core::check_final_state(run, g);
   std::cout << (rep.ok() ? "spec check: OK" : "spec check: FAILED") << "\n";
   if (!rep.ok()) std::cout << rep.to_string();

@@ -1,11 +1,15 @@
-// Execution timeline viewer: run a small discovery with the event log and
-// transition recorder armed, then print what happened, message by message —
-// the fastest way to build intuition for the protocol (and to see Figures
-// 1 and 3-6 in action).
+// Execution timeline viewer: run a small discovery with the event log,
+// transition recorder, and causal tracer armed, then print what happened,
+// message by message — the fastest way to build intuition for the protocol
+// (and to see Figures 1 and 3-6 in action).  The causal tracer also
+// extracts the run's critical path: the chain of "this delivery caused
+// these sends" that determined the completion time.
 //
-//   $ ./trace_timeline            # 6-node demo
-//   $ ./trace_timeline 12 42      # n nodes, schedule seed
+//   $ ./trace_timeline                   # 6-node demo
+//   $ ./trace_timeline 12 42             # n nodes, schedule seed
+//   $ ./trace_timeline 12 42 out.json    # also write a Perfetto trace
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "core/checker.h"
@@ -13,11 +17,15 @@
 #include "core/trace.h"
 #include "graph/topology.h"
 #include "sim/event_log.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/perfetto.h"
+#include "telemetry/tracer.h"
 
 int main(int argc, char** argv) {
   using namespace asyncrd;
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  const char* trace_path = argc > 3 ? argv[3] : nullptr;
 
   const auto g = graph::random_weakly_connected(n, n, seed);
   std::cout << "knowledge graph E0 (" << n << " nodes, " << g.edge_count()
@@ -34,16 +42,40 @@ int main(int argc, char** argv) {
   cfg.trace = &transitions;
   core::discovery_run run(g, cfg, sched);
   sim::event_log log;
-  run.net().set_observer(&log);
+  run.net().add_observer(&log);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
   run.wake_all();
   run.run();
 
-  std::cout << "\n--- timeline (" << log.events().size() << " events) ---\n";
+  std::cout << "\n--- timeline (" << log.size() << " events) ---\n";
   log.render(std::cout, 400);
 
   std::cout << "\n--- state transitions ---\n";
   for (const auto& [edge, count] : transitions.edges())
     std::cout << "  " << core::edge_to_string(edge) << " x" << count << '\n';
+
+  const auto cp = telemetry::extract_critical_path(tr.events());
+  std::cout << "\n--- critical path (" << cp.length << " hops, ends at t="
+            << cp.makespan << ") ---\n";
+  for (const auto& e : cp.chain) {
+    std::cout << "  [" << e.lamport << "] t=" << e.at << ' ';
+    if (e.what == telemetry::trace_event::kind::wake)
+      std::cout << "wake    " << e.to;
+    else
+      std::cout << "deliver " << e.from << " -> " << e.to << ' ' << e.type;
+    std::cout << '\n';
+  }
+  const auto fan = telemetry::compute_fanout(tr.events());
+  std::cout << "fan-out: mean " << fan.mean_fanout << ", max "
+            << fan.max_fanout << '\n';
+
+  if (trace_path != nullptr) {
+    std::ofstream out(trace_path);
+    telemetry::write_perfetto_trace(out, tr.events(), "trace_timeline");
+    std::cout << "[trace] " << trace_path
+              << "  (load it in ui.perfetto.dev)\n";
+  }
 
   const node_id leader = run.leaders().front();
   std::cout << "\nleader: " << leader << "  messages: "

@@ -43,10 +43,13 @@
 #include "core/trace.h"
 #include "core/uf_reduction.h"
 
+#include "telemetry/critical_path.h"
 #include "telemetry/histogram.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/perfetto.h"
 #include "telemetry/report.h"
+#include "telemetry/tracer.h"
 
 #include "baselines/absorption.h"
 #include "baselines/baseline_result.h"

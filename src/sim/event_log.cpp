@@ -37,13 +37,29 @@ void event_log::push(logged_event ev) {
 std::vector<logged_event> event_log::events() const {
   std::vector<logged_event> out;
   out.reserve(events_.size());
-  for_each([&](const logged_event& e) { out.push_back(e); });
+  visit([&](const logged_event& e) { out.push_back(e); });
   return out;
+}
+
+std::size_t event_log::count_of_kind(logged_event::kind k) const {
+  std::size_t n = 0;
+  visit([&](const logged_event& e) {
+    if (e.what == k) ++n;
+  });
+  return n;
+}
+
+std::size_t event_log::count_touching(node_id v) const {
+  std::size_t n = 0;
+  visit([&](const logged_event& e) {
+    if (e.from == v || e.to == v) ++n;
+  });
+  return n;
 }
 
 std::vector<logged_event> event_log::of_kind(logged_event::kind k) const {
   std::vector<logged_event> out;
-  for_each([&](const logged_event& e) {
+  visit([&](const logged_event& e) {
     if (e.what == k) out.push_back(e);
   });
   return out;
@@ -51,7 +67,7 @@ std::vector<logged_event> event_log::of_kind(logged_event::kind k) const {
 
 std::vector<logged_event> event_log::touching(node_id v) const {
   std::vector<logged_event> out;
-  for_each([&](const logged_event& e) {
+  visit([&](const logged_event& e) {
     if (e.from == v || e.to == v) out.push_back(e);
   });
   return out;
@@ -62,10 +78,10 @@ void event_log::render(std::ostream& os, std::size_t max_lines) const {
     os << "(" << dropped_ << " older events dropped at capacity)\n";
   std::size_t lines = 0;
   bool truncated = false;
-  for_each([&](const logged_event& e) {
+  visit([&](const logged_event& e) -> bool {
     if (lines >= max_lines) {
       truncated = true;
-      return;
+      return false;  // stop the ring walk; the footer counts the rest
     }
     ++lines;
     os << "t=" << e.at << ' ';
@@ -81,6 +97,7 @@ void event_log::render(std::ostream& os, std::size_t max_lines) const {
         break;
     }
     os << '\n';
+    return true;
   });
   if (truncated)
     os << "... (" << events_.size() - max_lines << " more events)\n";

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/ids.h"
@@ -36,14 +37,43 @@ class event_log final : public observer {
   void on_deliver(sim_time t, node_id from, node_id to,
                   const message& m) override;
 
-  /// The retained events, oldest first.
+  /// The retained events, oldest first.  This LINEARIZES: it copies every
+  /// retained event (strings included).  Prefer at()/visit() for queries —
+  /// they walk the ring in place.
   std::vector<logged_event> events() const;
   /// Number of retained events (no linearizing copy).
   std::size_t size() const noexcept { return events_.size(); }
   /// Events evicted because the log was at capacity.
   std::uint64_t dropped() const noexcept { return dropped_; }
 
-  /// Events of one kind, in order.
+  /// The i-th retained event, oldest first (0 <= i < size()).  Constant
+  /// time, no copy: a reference into the ring.
+  const logged_event& at(std::size_t i) const {
+    return events_[(start_ + i) % events_.size()];
+  }
+
+  /// Applies `f` to each retained event, oldest first, in place (no copy).
+  /// `f` may return void, or bool where false stops the iteration early.
+  template <typename F>
+  void visit(F&& f) const {
+    const std::size_t n = events_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const logged_event& e = events_[(start_ + i) % n];
+      if constexpr (std::is_invocable_r_v<bool, F&, const logged_event&>) {
+        if (!f(e)) return;
+      } else {
+        f(e);
+      }
+    }
+  }
+
+  /// Count of events of one kind (no allocation).
+  std::size_t count_of_kind(logged_event::kind k) const;
+
+  /// Count of events touching one node (no allocation).
+  std::size_t count_touching(node_id v) const;
+
+  /// Events of one kind, in order (copies; see of-kind counting above).
   std::vector<logged_event> of_kind(logged_event::kind k) const;
 
   /// Events touching one node (as sender, receiver, or woken), in order.
@@ -56,13 +86,6 @@ class event_log final : public observer {
 
  private:
   void push(logged_event ev);
-
-  /// Applies `f` to each retained event, oldest first.
-  template <typename F>
-  void for_each(F&& f) const {
-    const std::size_t n = events_.size();
-    for (std::size_t i = 0; i < n; ++i) f(events_[(start_ + i) % n]);
-  }
 
   std::size_t capacity_;
   /// Ring storage: grows to capacity_, then wraps; start_ is the index of

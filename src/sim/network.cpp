@@ -64,7 +64,10 @@ void network::wake(node_id id) {
     if (!nodes_.at(id).awake) pending_wakes_.insert(id);
     return;
   }
-  push_event(now_ + 1, event_kind::wake, id, invalid_node);
+  // A wake requested at quiescence (Lemma 3.1's driver) is causally ordered
+  // after everything that already happened: anchor it to the activation in
+  // progress, or the last completed one.
+  push_event(now_ + 1, event_kind::wake, id, invalid_node, current_anchor());
 }
 
 void network::set_manual_mode() {
@@ -88,19 +91,21 @@ void network::take_step(const manual_step& s) {
   if (s.is_wake) {
     if (pending_wakes_.erase(s.a) == 0)
       throw std::invalid_argument("take_step: wake not pending");
-    ensure_awake(s.a);
+    ensure_awake(s.a, trace_context::none, trace_context::none);
     return;
   }
   const auto it = channels_.find({s.a, s.b});
   if (it == channels_.end() || it->second.queue.empty())
     throw std::invalid_argument("take_step: channel empty");
-  message_ptr m = std::move(it->second.queue.front());
+  queued_msg q = std::move(it->second.queue.front());
   it->second.queue.pop_front();
   if (it->second.unscheduled > 0) --it->second.unscheduled;
-  ensure_awake(s.b);
-  observers_.on_deliver(now_, s.a, s.b, *m);
+  ensure_awake(s.b, q.sent_in, q.released_in);
+  begin_activation(q.sent_in, q.released_in, q.sent_at);
+  observers_.on_deliver(now_, s.a, s.b, *q.m);
   context ctx(*this, s.b);
-  nodes_.at(s.b).proc->on_message(ctx, s.a, m);
+  nodes_.at(s.b).proc->on_message(ctx, s.a, q.m);
+  end_activation();
 }
 
 void network::block_sender(node_id id) {
@@ -116,12 +121,19 @@ void network::block_sender(node_id id) {
 
 void network::unblock_sender(node_id id) {
   blocked_senders_.erase(id);
+  // The release is itself a causal fact: the adversary observed quiescence
+  // (or the current activation) before letting these messages through.
+  const std::uint64_t released_by = current_anchor();
   for (auto& [key, ch] : channels_) {
     if (key.first != id) continue;
+    for (std::size_t i = ch.queue.size() - ch.unscheduled; i < ch.queue.size();
+         ++i)
+      ch.queue[i].released_in = released_by;
     while (ch.unscheduled > 0) {
       --ch.unscheduled;
-      push_event(now_ + sched_->delay(key.first, key.second, *ch.queue.front()),
-                 event_kind::deliver, key.first, key.second);
+      push_event(
+          now_ + sched_->delay(key.first, key.second, *ch.queue.front().m),
+          event_kind::deliver, key.first, key.second);
     }
   }
 }
@@ -133,30 +145,52 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
   observers_.on_send(now_, from, to, *m);
 
   auto& ch = channels_[{from, to}];
+  queued_msg q{std::move(m), tctx_.active ? tctx_.event_id : trace_context::none,
+               trace_context::none, now_};
   if (manual_mode_ || blocked_senders_.contains(from)) {
-    ch.queue.push_back(std::move(m));
+    ch.queue.push_back(std::move(q));
     ++ch.unscheduled;
     return;
   }
-  const sim_time d = sched_->delay(from, to, *m);
-  ch.queue.push_back(std::move(m));
+  // Driver sends (probe, dynamic additions) happen between events; they are
+  // causally ordered after the last completed activation.
+  if (!tctx_.active) q.released_in = last_event_;
+  const sim_time d = sched_->delay(from, to, *q.m);
+  ch.queue.push_back(std::move(q));
   push_event(now_ + (d == 0 ? 1 : d), event_kind::deliver, from, to);
 }
 
-void network::ensure_awake(node_id id) {
+void network::begin_activation(std::uint64_t cause, std::uint64_t release,
+                               sim_time sent_at) {
+  tctx_.event_id = next_event_id_++;
+  tctx_.cause = cause;
+  tctx_.release = release;
+  tctx_.sent_at = sent_at;
+  tctx_.active = true;
+}
+
+void network::end_activation() {
+  last_event_ = tctx_.event_id;
+  tctx_ = trace_context{};
+}
+
+void network::ensure_awake(node_id id, std::uint64_t cause,
+                           std::uint64_t release) {
   auto& slot = nodes_.at(id);
   if (slot.awake) return;
   slot.awake = true;
+  begin_activation(cause, release, now_);
   observers_.on_wake(now_, id);
   context ctx(*this, id);
   slot.proc->on_wake(ctx);
+  end_activation();
 }
 
 void network::dispatch(const event& ev) {
   now_ = ev.at;
   switch (ev.kind) {
     case event_kind::wake: {
-      ensure_awake(ev.a);
+      ensure_awake(ev.a, ev.cause, trace_context::none);
       break;
     }
     case event_kind::deliver: {
@@ -164,19 +198,23 @@ void network::dispatch(const event& ev) {
       assert(!ch.queue.empty());
       // FIFO: a delivery event always releases the channel head, regardless
       // of which send created the event.
-      message_ptr m = std::move(ch.queue.front());
+      queued_msg q = std::move(ch.queue.front());
       ch.queue.pop_front();
-      ensure_awake(ev.b);
-      observers_.on_deliver(now_, ev.a, ev.b, *m);
+      // A message-induced wake shares the arriving message's causes.
+      ensure_awake(ev.b, q.sent_in, q.released_in);
+      begin_activation(q.sent_in, q.released_in, q.sent_at);
+      observers_.on_deliver(now_, ev.a, ev.b, *q.m);
       context ctx(*this, ev.b);
-      nodes_.at(ev.b).proc->on_message(ctx, ev.a, m);
+      nodes_.at(ev.b).proc->on_message(ctx, ev.a, q.m);
+      end_activation();
       break;
     }
   }
 }
 
-void network::push_event(sim_time at, event_kind kind, node_id a, node_id b) {
-  events_.push(event{at, seq_++, kind, a, b});
+void network::push_event(sim_time at, event_kind kind, node_id a, node_id b,
+                         std::uint64_t cause) {
+  events_.push(event{at, seq_++, kind, a, b, cause});
 }
 
 void network::finalize_id_bits() {

@@ -113,6 +113,27 @@ struct run_result {
   bool completed = true;
 };
 
+/// Causal identity of the *activation* currently being dispatched — one
+/// wake callback or one delivery callback.  Valid inside observer callbacks
+/// and node handlers; `active` is false between events.
+///
+/// Two distinct causal edges feed an activation (both are happened-before
+/// edges in Lamport's sense):
+///   * `cause`   — message genealogy: the activation in which the delivered
+///     message was sent (or, for a message-induced wake, the same);
+///   * `release` — scheduling causality: the activation whose quiescence
+///     made the adversary release a held message or inject a wake
+///     (Theorem 1's staged stalling, Lemma 3.1's sequential wake-up).
+/// Either may be `none` (explicit initial wakes are roots).
+struct trace_context {
+  static constexpr std::uint64_t none = ~std::uint64_t{0};
+  std::uint64_t event_id = none;  ///< unique id of this activation
+  std::uint64_t cause = none;     ///< genealogy parent
+  std::uint64_t release = none;   ///< scheduling parent
+  sim_time sent_at = 0;           ///< deliver: sim time the message left
+  bool active = false;
+};
+
 class network {
  public:
   explicit network(scheduler& sched) : sched_(&sched) {}
@@ -219,6 +240,25 @@ class network {
     if (obs != nullptr) observers_.add(obs);
   }
 
+  // --- causal tracing ----------------------------------------------------
+  //
+  // Every activation (wake/delivery callback) gets a unique event id, and
+  // every queued message remembers the activation that sent it, so an
+  // observer can reconstruct the full causal genealogy of a run (the
+  // telemetry tracer does; see telemetry/tracer.h).
+
+  /// The causal identity of the activation currently running (observers
+  /// query this from their callbacks).
+  const trace_context& trace_ctx() const noexcept { return tctx_; }
+
+  /// Id of the most recently *completed* activation (trace_context::none
+  /// before the first).  Actions taken outside any activation — quiescence
+  /// hooks, driver calls — are causally ordered after it.
+  std::uint64_t last_event_id() const noexcept { return last_event_; }
+
+  /// Total activations assigned so far.
+  std::uint64_t events_assigned() const noexcept { return next_event_id_; }
+
   /// True iff no undelivered messages exist anywhere (including held ones).
   bool channels_empty() const;
 
@@ -227,8 +267,19 @@ class network {
  private:
   friend class context;
 
+  /// A message in flight, with the causal record of how it got there.
+  struct queued_msg {
+    message_ptr m;
+    /// Activation that sent it (trace_context::none for driver sends).
+    std::uint64_t sent_in = trace_context::none;
+    /// Activation whose quiescence released it (held messages) or preceded
+    /// the out-of-activation send; none for ordinary in-activation sends.
+    std::uint64_t released_in = trace_context::none;
+    sim_time sent_at = 0;
+  };
+
   struct channel {
-    std::deque<message_ptr> queue;
+    std::deque<queued_msg> queue;
     /// Tail messages with no delivery event yet (sender was blocked).
     std::size_t unscheduled = 0;
   };
@@ -241,6 +292,8 @@ class network {
     event_kind kind;
     node_id a;  // wake target / channel source
     node_id b;  // channel destination (deliver only)
+    /// Wake events: the activation that requested the wake (none = root).
+    std::uint64_t cause = trace_context::none;
   };
 
   struct event_after {
@@ -256,10 +309,21 @@ class network {
   };
 
   void send_internal(node_id from, node_id to, message_ptr m);
-  void ensure_awake(node_id id);
+  void ensure_awake(node_id id, std::uint64_t cause, std::uint64_t release);
   void dispatch(const event& ev);
-  void push_event(sim_time at, event_kind kind, node_id a, node_id b);
+  void push_event(sim_time at, event_kind kind, node_id a, node_id b,
+                  std::uint64_t cause = trace_context::none);
   void finalize_id_bits();
+
+  /// Opens/closes the trace context around one activation's callbacks.
+  void begin_activation(std::uint64_t cause, std::uint64_t release,
+                        sim_time sent_at);
+  void end_activation();
+  /// The causal anchor for actions taken right now: the running activation
+  /// if inside one, else the last completed one (quiescence ordering).
+  std::uint64_t current_anchor() const noexcept {
+    return tctx_.active ? tctx_.event_id : last_event_;
+  }
 
   scheduler* sched_;
   std::map<node_id, node_slot> nodes_;
@@ -271,6 +335,9 @@ class network {
   run_timing timing_;
   sim_time now_ = 0;
   std::uint64_t seq_ = 0;
+  trace_context tctx_;
+  std::uint64_t next_event_id_ = 0;
+  std::uint64_t last_event_ = trace_context::none;
   bool id_bits_fixed_ = false;
   bool manual_mode_ = false;
   std::set<node_id> pending_wakes_;

@@ -1,0 +1,77 @@
+#include "telemetry/critical_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace asyncrd::telemetry {
+
+critical_path extract_critical_path(const std::vector<trace_event>& events) {
+  critical_path out;
+  if (events.empty()) return out;
+
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    index.emplace(events[i].id, i);
+
+  const trace_event* terminal = &events.front();
+  for (const trace_event& e : events) {
+    if (e.lamport > terminal->lamport ||
+        (e.lamport == terminal->lamport &&
+         (e.at > terminal->at ||
+          (e.at == terminal->at && e.id > terminal->id))))
+      terminal = &e;
+  }
+
+  // Walk binding-parent edges back to the root, then reverse.
+  const trace_event* cur = terminal;
+  for (;;) {
+    out.chain.push_back(*cur);
+    if (cur->parent == trace_none) break;
+    const auto it = index.find(cur->parent);
+    if (it == index.end()) break;  // tracer attached mid-run: partial chain
+    cur = &events[it->second];
+  }
+  std::reverse(out.chain.begin(), out.chain.end());
+
+  out.length = out.chain.size();
+  out.makespan = terminal->at;
+  for (const trace_event& e : out.chain) {
+    const std::string key =
+        e.what == trace_event::kind::wake ? "(wake)" : e.type;
+    ++out.hops_by_type[key];
+  }
+  return out;
+}
+
+fanout_stats compute_fanout(const std::vector<trace_event>& events) {
+  fanout_stats out;
+  for (const trace_event& e : events) {
+    ++out.activations;
+    out.sends += e.sends;
+    if (e.sends > out.max_fanout) {
+      out.max_fanout = e.sends;
+      out.max_fanout_event = e.id;
+    }
+  }
+  if (out.activations > 0)
+    out.mean_fanout = static_cast<double>(out.sends) /
+                      static_cast<double>(out.activations);
+  return out;
+}
+
+std::map<std::string, type_latency> latency_by_type(
+    const std::vector<trace_event>& events) {
+  std::map<std::string, type_latency> out;
+  for (const trace_event& e : events) {
+    if (e.what != trace_event::kind::deliver) continue;
+    type_latency& tl = out[e.type];
+    const std::uint64_t d = e.at >= e.sent_at ? e.at - e.sent_at : 0;
+    ++tl.count;
+    tl.total_delay += d;
+    tl.max_delay = std::max(tl.max_delay, d);
+  }
+  return out;
+}
+
+}  // namespace asyncrd::telemetry

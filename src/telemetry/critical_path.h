@@ -1,0 +1,59 @@
+// Critical-path extraction and causal-chain analytics over a traced run.
+//
+// The critical path is the longest causal chain in the genealogy recorded
+// by telemetry::tracer — the sequence of "this delivery caused these sends"
+// (plus adversary release edges) that determined when the run finished.
+// Its hop count is the run's time complexity in the standard asynchronous
+// measure: with all delivery delays equal to one time unit it equals the
+// network's final sim_time exactly (asserted in tests/test_critical_path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/tracer.h"
+
+namespace asyncrd::telemetry {
+
+/// The longest causal chain of a run, root first.
+struct critical_path {
+  std::vector<trace_event> chain;  ///< root ... terminal activation
+  std::uint64_t length = 0;        ///< hops == chain.size() == max Lamport
+  sim::sim_time makespan = 0;      ///< terminal activation's sim time
+  /// Deliver hops per message type along the path ("(wake)" for wakes).
+  std::map<std::string, std::uint64_t> hops_by_type;
+};
+
+/// Extracts the critical path: the maximum-Lamport activation (ties broken
+/// by later sim time, then higher id — deterministic) walked back to its
+/// root along the binding-parent edges.  Empty input yields an empty path.
+critical_path extract_critical_path(const std::vector<trace_event>& events);
+
+/// Fan-out of deliveries: how many sends each activation triggered.
+struct fanout_stats {
+  std::uint64_t activations = 0;  ///< traced wake/deliver activations
+  std::uint64_t sends = 0;        ///< sends attributed to activations
+  std::uint64_t max_fanout = 0;
+  std::uint64_t max_fanout_event = trace_none;  ///< id of the widest one
+  double mean_fanout = 0.0;
+};
+fanout_stats compute_fanout(const std::vector<trace_event>& events);
+
+/// Per-message-type delivery latency (deliver.at - sent_at, in sim time):
+/// under adversarial schedules this is where the stalls show up.
+struct type_latency {
+  std::uint64_t count = 0;
+  std::uint64_t total_delay = 0;
+  std::uint64_t max_delay = 0;
+  double mean_delay() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_delay) /
+                            static_cast<double>(count);
+  }
+};
+std::map<std::string, type_latency> latency_by_type(
+    const std::vector<trace_event>& events);
+
+}  // namespace asyncrd::telemetry

@@ -192,6 +192,7 @@ class parser {
 
   bool parse_value(json_value& out) {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
+    out.offset = pos_;
     switch (text_[pos_]) {
       case '{': return parse_object(out);
       case '[': return parse_array(out);

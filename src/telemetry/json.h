@@ -78,6 +78,11 @@ struct json_value {
   std::variant<std::nullptr_t, bool, double, std::string, array, object> v =
       nullptr;
 
+  /// Byte offset of this value's first character in the parsed document
+  /// (0 for hand-built values).  Validators use it to point at the
+  /// offending value when a semantic check fails.
+  std::size_t offset = 0;
+
   bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v); }
   bool is_bool() const noexcept { return std::holds_alternative<bool>(v); }
   bool is_number() const noexcept { return std::holds_alternative<double>(v); }

@@ -1,0 +1,128 @@
+#include "telemetry/perfetto.h"
+
+#include <ostream>
+#include <set>
+
+#include "telemetry/json.h"
+
+namespace asyncrd::telemetry {
+
+namespace {
+
+void write_slice(json_writer& w, const trace_event& e) {
+  const bool is_wake = e.what == trace_event::kind::wake;
+  w.begin_object();
+  w.kv("name", is_wake ? std::string_view("wake") : std::string_view(e.type));
+  w.kv("cat", is_wake ? "wake" : "deliver");
+  w.kv("ph", "X");
+  w.kv("ts", e.at);
+  w.kv("dur", std::uint64_t{1});
+  w.kv("pid", 1);
+  w.kv("tid", e.to);
+  w.key("args").begin_object();
+  w.kv("id", e.id);
+  w.kv("lamport", e.lamport);
+  w.kv("sends", static_cast<std::uint64_t>(e.sends));
+  // trace_none has no faithful JSON-number spelling; absent key == no edge.
+  if (e.cause != trace_none) w.kv("cause", e.cause);
+  if (e.release != trace_none) w.kv("release", e.release);
+  if (!is_wake) {
+    w.kv("from", e.from);
+    w.kv("sent_at", e.sent_at);
+    w.kv("bits", e.bits);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_flow(json_writer& w, const trace_event& e) {
+  // Flow start inside the sending activation's slice on the sender's track;
+  // flow end bound to the enclosing ('bp':'e') delivery slice.
+  w.begin_object();
+  w.kv("name", e.type);
+  w.kv("cat", "msg");
+  w.kv("ph", "s");
+  w.kv("id", e.id);
+  w.kv("ts", e.sent_at);
+  w.kv("pid", 1);
+  w.kv("tid", e.from);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", e.type);
+  w.kv("cat", "msg");
+  w.kv("ph", "f");
+  w.kv("bp", "e");
+  w.kv("id", e.id);
+  w.kv("ts", e.at);
+  w.kv("pid", 1);
+  w.kv("tid", e.to);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const std::vector<trace_event>& events,
+                                std::string_view label) {
+  std::set<node_id> nodes;
+  std::uint64_t deliveries = 0;
+  for (const trace_event& e : events) {
+    nodes.insert(e.to);
+    if (e.what == trace_event::kind::deliver) {
+      nodes.insert(e.from);
+      ++deliveries;
+    }
+  }
+
+  json_writer w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.kv("tool", "asyncrd");
+  w.kv("label", label);
+  w.kv("events", static_cast<std::uint64_t>(events.size()));
+  w.kv("messages", deliveries);
+  w.kv("nodes", static_cast<std::uint64_t>(nodes.size()));
+  w.end_object();
+
+  w.key("traceEvents").begin_array();
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 1);
+  w.kv("tid", 0);
+  w.key("args").begin_object().kv("name", "asyncrd").end_object();
+  w.end_object();
+  for (const node_id v : nodes) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", v);
+    w.key("args").begin_object();
+    w.kv("name", "node " + std::to_string(v));
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "thread_sort_index");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", v);
+    w.key("args").begin_object().kv("sort_index", v).end_object();
+    w.end_object();
+  }
+  for (const trace_event& e : events) {
+    write_slice(w, e);
+    if (e.what == trace_event::kind::deliver) write_flow(w, e);
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void write_perfetto_trace(std::ostream& os,
+                          const std::vector<trace_event>& events,
+                          std::string_view label) {
+  os << perfetto_trace_json(events, label) << '\n';
+}
+
+}  // namespace asyncrd::telemetry

@@ -1,0 +1,35 @@
+// Chrome trace-event / Perfetto JSON export of a traced run.
+//
+// The emitted file loads directly in https://ui.perfetto.dev (or
+// chrome://tracing): one thread track per node, one 'X' slice per
+// activation (wakes and deliveries, one sim-time unit wide), and one flow
+// arrow ('s'/'f' pair, bound by the delivery's activation id) per delivered
+// message from the sending activation to the delivery — so the causal
+// genealogy is visible as arrows and the critical path reads off the UI.
+//
+// Every slice carries the full causal record in its "args" (id, cause,
+// release, lamport, sent_at, bits, sends), which makes the file
+// self-contained: tools/trace_analyze reconstructs the genealogy from the
+// JSON alone.  Schema details in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/tracer.h"
+
+namespace asyncrd::telemetry {
+
+/// Serializes trace events as a Chrome trace-event JSON document
+/// ({"traceEvents": [...], ...}).  `label` goes into otherData.
+std::string perfetto_trace_json(const std::vector<trace_event>& events,
+                                std::string_view label);
+
+/// Same, streamed to `os`.
+void write_perfetto_trace(std::ostream& os,
+                          const std::vector<trace_event>& events,
+                          std::string_view label);
+
+}  // namespace asyncrd::telemetry

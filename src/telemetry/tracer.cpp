@@ -1,0 +1,79 @@
+#include "telemetry/tracer.h"
+
+#include <algorithm>
+
+namespace asyncrd::telemetry {
+
+std::uint64_t tracer::lamport_of(std::uint64_t id) const {
+  if (id == trace_none) return 0;
+  const auto it = index_.find(id);
+  // An unknown parent means the tracer was attached mid-run; treat the
+  // missing prefix as causally flat rather than dropping the event.
+  return it == index_.end() ? 0 : events_[it->second].lamport;
+}
+
+trace_event& tracer::push(trace_event ev) {
+  const std::uint64_t lc = lamport_of(ev.cause);
+  const std::uint64_t lr = lamport_of(ev.release);
+  ev.lamport = std::max(lc, lr) + 1;
+  if (ev.cause == trace_none && ev.release == trace_none)
+    ev.parent = trace_none;
+  else
+    ev.parent = lc >= lr ? (ev.cause != trace_none ? ev.cause : ev.release)
+                         : ev.release;
+  max_lamport_ = std::max(max_lamport_, ev.lamport);
+  index_.emplace(ev.id, events_.size());
+  events_.push_back(std::move(ev));
+  return events_.back();
+}
+
+void tracer::on_wake(sim::sim_time t, node_id v) {
+  const auto& ctx = net_->trace_ctx();
+  trace_event ev;
+  ev.id = ctx.event_id;
+  ev.cause = ctx.cause;
+  ev.release = ctx.release;
+  ev.what = trace_event::kind::wake;
+  ev.to = v;
+  ev.at = t;
+  push(std::move(ev));
+}
+
+void tracer::on_deliver(sim::sim_time t, node_id from, node_id to,
+                        const sim::message& m) {
+  const auto& ctx = net_->trace_ctx();
+  trace_event ev;
+  ev.id = ctx.event_id;
+  ev.cause = ctx.cause;
+  ev.release = ctx.release;
+  ev.what = trace_event::kind::deliver;
+  ev.from = from;
+  ev.to = to;
+  ev.at = t;
+  ev.sent_at = ctx.sent_at;
+  ev.bits = m.bits(net_->statistics().id_bits());
+  ev.type = std::string(m.type_name());
+  push(std::move(ev));
+}
+
+void tracer::on_send(sim::sim_time, node_id, node_id, const sim::message&) {
+  ++sends_observed_;
+  const auto& ctx = net_->trace_ctx();
+  if (!ctx.active) return;  // driver send, outside any activation
+  const auto it = index_.find(ctx.event_id);
+  if (it != index_.end()) ++events_[it->second].sends;
+}
+
+const trace_event* tracer::find(std::uint64_t id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &events_[it->second];
+}
+
+void tracer::clear() {
+  events_.clear();
+  index_.clear();
+  max_lamport_ = 0;
+  sends_observed_ = 0;
+}
+
+}  // namespace asyncrd::telemetry

@@ -1,10 +1,33 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 
 #include "core/runner.h"
 #include "graph/topology.h"
 #include "sim/event_log.h"
+
+// --- Allocation accounting --------------------------------------------------
+// This test binary replaces the global allocator with a counting forwarder so
+// the regression below can prove that ring queries (at / visit / count_*)
+// never allocate — the exact guarantee that distinguishes them from the
+// linearizing events()/of_kind()/touching() copies.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace asyncrd {
 namespace {
@@ -129,6 +152,93 @@ TEST(EventLog, ClearResets) {
   log.clear();
   EXPECT_TRUE(log.events().empty());
   EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogQueries, AtIndexesOldestFirstAcrossTheWrap) {
+  sim::event_log log(4);
+  for (sim::sim_time t = 0; t < 10; ++t)
+    log.on_wake(t, static_cast<node_id>(t));
+  const auto copied = log.events();
+  ASSERT_EQ(copied.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log.at(i).at, copied[i].at);
+    EXPECT_EQ(log.at(i).to, copied[i].to);
+  }
+}
+
+TEST(EventLogQueries, VisitMatchesEventsAndStopsEarly) {
+  const auto log = run_logged(graph::random_weakly_connected(10, 12, 6), 64);
+  const auto copied = log.events();
+  std::size_t i = 0;
+  log.visit([&](const sim::logged_event& e) {
+    ASSERT_LT(i, copied.size());
+    EXPECT_EQ(e.at, copied[i].at);
+    EXPECT_EQ(e.type, copied[i].type);
+    ++i;
+  });
+  EXPECT_EQ(i, copied.size());
+
+  // A bool-returning visitor stops at the first false.
+  std::size_t seen = 0;
+  log.visit([&](const sim::logged_event&) { return ++seen < 3; });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(EventLogQueries, CountsMatchTheLinearizedFilters) {
+  const auto log =
+      run_logged(graph::random_weakly_connected(12, 16, 9), 1 << 16);
+  using kind = sim::logged_event::kind;
+  for (const kind k : {kind::wake, kind::send, kind::deliver})
+    EXPECT_EQ(log.count_of_kind(k), log.of_kind(k).size());
+  for (node_id v = 0; v < 12; ++v)
+    EXPECT_EQ(log.count_touching(v), log.touching(v).size());
+}
+
+TEST(EventLogQueries, MillionEventQueriesDoNotAllocate) {
+  // Regression: events()/of_kind()/touching() linearize (copy every retained
+  // event, strings included), which at 2^20 events is megabytes of churn per
+  // query.  The index/visitor API must answer the same questions without a
+  // single allocation.  The message type name is longer than any SSO buffer,
+  // so accidentally copying even one element would trip the counter.
+  const stub_msg msg("deliberately_long_message_type_name_defeating_sso");
+  sim::event_log log(1 << 20);
+  for (std::uint64_t i = 0; i < (1u << 20) + 50'000u; ++i) {
+    const auto from = static_cast<node_id>(i % 32);
+    const auto to = static_cast<node_id>((i + 1) % 32);
+    switch (i % 3) {
+      case 0: log.on_wake(static_cast<sim::sim_time>(i), to); break;
+      case 1: log.on_send(static_cast<sim::sim_time>(i), from, to, msg); break;
+      default:
+        log.on_deliver(static_cast<sim::sim_time>(i), from, to, msg);
+    }
+  }
+  ASSERT_EQ(log.size(), 1u << 20);
+  ASSERT_GT(log.dropped(), 0u);
+
+  using kind = sim::logged_event::kind;
+  const std::uint64_t before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const std::size_t wakes = log.count_of_kind(kind::wake);
+  const std::size_t sends = log.count_of_kind(kind::send);
+  const std::size_t delivers = log.count_of_kind(kind::deliver);
+  const std::size_t touching7 = log.count_touching(7);
+  std::size_t visited = 0, touching7_by_hand = 0;
+  sim::sim_time last_at = 0;
+  log.visit([&](const sim::logged_event& e) {
+    ++visited;
+    last_at = e.at;
+    if (e.from == 7 || e.to == 7) ++touching7_by_hand;
+  });
+  const sim::sim_time mid_at = log.at(log.size() / 2).at;
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "ring queries must not allocate";
+  EXPECT_EQ(wakes + sends + delivers, log.size());
+  EXPECT_EQ(visited, log.size());
+  EXPECT_EQ(touching7, touching7_by_hand);
+  EXPECT_GT(touching7, 0u);
+  EXPECT_EQ(last_at, log.at(log.size() - 1).at);
+  EXPECT_EQ(mid_at, log.at(log.size() / 2).at);
 }
 
 TEST(NewTopologies, HypercubeShape) {

@@ -1,0 +1,192 @@
+// The causal tracer: genealogy integrity, Lamport timestamps, fan-out
+// accounting, and the Perfetto export schema.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/json.h"
+#include "telemetry/perfetto.h"
+#include "telemetry/tracer.h"
+
+namespace asyncrd {
+namespace {
+
+using telemetry::trace_event;
+using telemetry::trace_none;
+
+struct traced_run {
+  std::vector<trace_event> events;
+  sim::sim_time final_time = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t sends_observed = 0;
+};
+
+traced_run run_traced(const graph::digraph& g, sim::scheduler& sched) {
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
+  run.wake_all();
+  const auto r = run.run();
+  EXPECT_TRUE(r.completed);
+  return {tr.events(), run.net().now(), run.statistics().total_messages(),
+          tr.sends_observed()};
+}
+
+TEST(Tracer, EveryDeliveryHasAGenealogyBackToARoot) {
+  sim::unit_delay_scheduler sched;
+  const auto t = run_traced(graph::directed_path(5), sched);
+  ASSERT_FALSE(t.events.empty());
+
+  std::set<std::uint64_t> seen;
+  for (const trace_event& e : t.events) {
+    // Parents always precede children (causes complete before effects).
+    if (e.cause != trace_none) {
+      EXPECT_TRUE(seen.contains(e.cause));
+    }
+    if (e.release != trace_none) {
+      EXPECT_TRUE(seen.contains(e.release));
+    }
+    EXPECT_TRUE(seen.insert(e.id).second) << "duplicate activation id";
+    if (e.what == trace_event::kind::deliver) {
+      // Every delivery was caused by the send inside some activation
+      // (wake_all runs have no driver sends).
+      EXPECT_NE(e.cause, trace_none);
+      EXPECT_FALSE(e.type.empty());
+      EXPECT_LT(e.sent_at, e.at);  // delays are >= 1
+      EXPECT_GT(e.bits, 0u);
+    } else {
+      // Initial wakes are causal roots.
+      EXPECT_EQ(e.cause, trace_none);
+      EXPECT_EQ(e.lamport, 1u);
+    }
+  }
+}
+
+TEST(Tracer, LamportIsParentDepthPlusOne) {
+  sim::random_delay_scheduler sched(7);
+  const auto t = run_traced(graph::random_weakly_connected(12, 14, 7), sched);
+  std::map<std::uint64_t, std::uint64_t> depth;
+  for (const trace_event& e : t.events) {
+    const auto parent_depth = [&](std::uint64_t id) -> std::uint64_t {
+      return id == trace_none ? 0 : depth.at(id);
+    };
+    EXPECT_EQ(e.lamport,
+              std::max(parent_depth(e.cause), parent_depth(e.release)) + 1);
+    // One causal hop costs at least one sim-time unit, so causal depth
+    // never exceeds virtual time.
+    EXPECT_LE(e.lamport, e.at);
+    depth[e.id] = e.lamport;
+  }
+}
+
+TEST(Tracer, CountsMatchTheRunStatistics) {
+  sim::unit_delay_scheduler sched;
+  const auto t = run_traced(graph::random_weakly_connected(20, 25, 3), sched);
+
+  std::uint64_t wakes = 0, delivers = 0, fanout_sum = 0;
+  for (const trace_event& e : t.events) {
+    (e.what == trace_event::kind::wake ? wakes : delivers) += 1;
+    fanout_sum += e.sends;
+  }
+  EXPECT_EQ(wakes, 20u);
+  // Reliable network + quiescence: every sent message was delivered, and
+  // every send happened inside some traced activation.
+  EXPECT_EQ(delivers, t.total_messages);
+  EXPECT_EQ(t.sends_observed, t.total_messages);
+  EXPECT_EQ(fanout_sum, t.total_messages);
+}
+
+TEST(Tracer, FindAndClear) {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(graph::directed_path(3), cfg, sched);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
+  run.wake_all();
+  run.run();
+  ASSERT_FALSE(tr.events().empty());
+  const trace_event& first = tr.events().front();
+  ASSERT_NE(tr.find(first.id), nullptr);
+  EXPECT_EQ(tr.find(first.id)->id, first.id);
+  EXPECT_EQ(tr.find(~0ull - 1), nullptr);
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+  EXPECT_EQ(tr.max_lamport(), 0u);
+}
+
+TEST(Tracer, PerfettoExportIsWellFormed) {
+  sim::unit_delay_scheduler sched;
+  const auto t = run_traced(graph::random_weakly_connected(10, 12, 5), sched);
+  const std::string doc =
+      telemetry::perfetto_trace_json(t.events, "unit_test");
+
+  std::string err;
+  const auto parsed = telemetry::json_parse(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_TRUE(parsed->is_object());
+  const auto* evs = parsed->find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_TRUE(evs->is_array());
+  EXPECT_NE(parsed->find("displayTimeUnit"), nullptr);
+
+  std::size_t slices = 0, flow_s = 0, flow_f = 0, thread_names = 0;
+  std::set<double> tracks;
+  for (const auto& ev : evs->as_array()) {
+    ASSERT_TRUE(ev.is_object());
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string& phase = ph->as_string();
+    if (phase == "X") {
+      ++slices;
+      tracks.insert(ev.find("tid")->as_number());
+      ASSERT_NE(ev.find("args"), nullptr);
+      EXPECT_NE(ev.find("args")->find("lamport"), nullptr);
+    } else if (phase == "s") {
+      ++flow_s;
+    } else if (phase == "f") {
+      ++flow_f;
+    } else if (phase == "M" &&
+               ev.find("name")->as_string() == "thread_name") {
+      ++thread_names;
+    }
+  }
+  EXPECT_EQ(slices, t.events.size());
+  // One flow arrow (s/f pair) per traced message delivery.
+  std::size_t delivers = 0;
+  for (const auto& e : t.events)
+    if (e.what == trace_event::kind::deliver) ++delivers;
+  EXPECT_EQ(flow_s, delivers);
+  EXPECT_EQ(flow_f, delivers);
+  // One named track per node.
+  EXPECT_EQ(thread_names, 10u);
+  EXPECT_EQ(tracks.size(), 10u);
+}
+
+TEST(Tracer, DriverSendsAfterQuiescenceAreReleaseAnchored) {
+  // A probe issued between runs is a driver action: its deliveries carry a
+  // release edge to the last completed activation, not a genealogy cause.
+  const auto g = graph::random_weakly_connected(8, 10, 2);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  cfg.algo = core::variant::adhoc;
+  core::discovery_run run(g, cfg, sched);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
+  run.wake_all();
+  run.run();
+  const std::size_t before = tr.events().size();
+  ASSERT_GT(before, 0u);
+  run.probe(g.nodes().front());
+  run.net().run_to_quiescence();
+  ASSERT_GT(tr.events().size(), before);
+  const trace_event& first_probe_hop = tr.events()[before];
+  EXPECT_EQ(first_probe_hop.cause, trace_none);
+  EXPECT_NE(first_probe_hop.release, trace_none);
+}
+
+}  // namespace
+}  // namespace asyncrd

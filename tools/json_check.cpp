@@ -8,12 +8,20 @@
 //                                 keys {label, variant, nodes,
 //                                 total_messages, messages_by_type, wall_ms,
 //                                 load, transitions}
+//   json_check --trace FILE...    each FILE must be a Chrome trace-event /
+//                                 Perfetto trace (discovery_cli --trace):
+//                                 top-level {traceEvents, displayTimeUnit},
+//                                 well-formed events, balanced s/f flow
+//                                 pairs (see docs/OBSERVABILITY.md)
 //
-// Exit 0 iff every file parses and carries its required keys.  CI runs this
-// over the bench-smoke outputs; ctest runs it over a discovery_cli --json
-// report and a real bench emission (see tests/CMakeLists.txt).
+// Every failure names the offending byte offset: parse errors carry the
+// parser's position, semantic errors the offset of the bad (sub)value.
+// Exit 0 iff every file validates.  CI runs this over the bench-smoke and
+// trace outputs; ctest runs it over discovery_cli emissions (see
+// tests/CMakeLists.txt).
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,7 +41,90 @@ const std::vector<std::string> report_keys = {
     "label",          "variant", "nodes",   "total_messages",
     "messages_by_type", "wall_ms", "load",  "transitions"};
 
-bool check_file(const std::string& path, const std::vector<std::string>& keys) {
+bool complain(const std::string& path, std::size_t offset,
+              const std::string& what) {
+  std::cerr << path << ": " << what << " (at byte " << offset << ")\n";
+  return false;
+}
+
+bool check_keys(const std::string& path, const json_value& doc,
+                const std::vector<std::string>& keys) {
+  bool ok = true;
+  for (const std::string& k : keys) {
+    if (doc.find(k) == nullptr)
+      ok = complain(path, doc.offset, "missing required key \"" + k + "\"");
+  }
+  return ok;
+}
+
+/// One trace event: an object with name/ph/pid/tid, plus the per-phase
+/// requirements ('X' slices need ts+dur+args, flows need ts+id).
+bool check_trace_event(const std::string& path, const json_value& ev,
+                       std::size_t idx,
+                       std::map<double, int>& open_flows) {
+  const std::string where = "traceEvents[" + std::to_string(idx) + "]";
+  if (!ev.is_object())
+    return complain(path, ev.offset, where + " is not an object");
+  bool ok = true;
+  for (const char* k : {"name", "ph", "pid", "tid"}) {
+    if (ev.find(k) == nullptr)
+      ok = complain(path, ev.offset,
+                    where + " missing key \"" + std::string(k) + "\"");
+  }
+  const json_value* ph = ev.find("ph");
+  if (ph == nullptr || !ph->is_string()) return false;
+  const std::string& phase = ph->as_string();
+  if (phase == "M") return ok;  // metadata: no timestamp required
+  const json_value* ts = ev.find("ts");
+  if (ts == nullptr || !ts->is_number())
+    ok = complain(path, ev.offset, where + " missing numeric \"ts\"");
+  if (phase == "X") {
+    if (const json_value* dur = ev.find("dur");
+        dur == nullptr || !dur->is_number())
+      ok = complain(path, ev.offset, where + " slice missing numeric \"dur\"");
+    if (const json_value* args = ev.find("args");
+        args == nullptr || !args->is_object()) {
+      ok = complain(path, ev.offset, where + " slice missing \"args\" object");
+    } else {
+      for (const char* k : {"id", "lamport"}) {
+        if (args->find(k) == nullptr)
+          ok = complain(path, args->offset,
+                        where + " args missing \"" + std::string(k) + "\"");
+      }
+    }
+  } else if (phase == "s" || phase == "f") {
+    const json_value* id = ev.find("id");
+    if (id == nullptr || !id->is_number()) {
+      ok = complain(path, ev.offset, where + " flow missing numeric \"id\"");
+    } else {
+      open_flows[id->as_number()] += phase == "s" ? 1 : -1;
+    }
+  }
+  return ok;
+}
+
+bool check_trace(const std::string& path, const json_value& doc) {
+  bool ok = check_keys(path, doc, {"traceEvents", "displayTimeUnit"});
+  const json_value* evs = doc.find("traceEvents");
+  if (evs == nullptr) return false;
+  if (!evs->is_array())
+    return complain(path, evs->offset, "\"traceEvents\" is not an array");
+  std::map<double, int> open_flows;  // flow id -> starts minus finishes
+  for (std::size_t i = 0; i < evs->as_array().size(); ++i)
+    ok = check_trace_event(path, evs->as_array()[i], i, open_flows) && ok;
+  for (const auto& [id, balance] : open_flows) {
+    if (balance != 0)
+      ok = complain(path, evs->offset,
+                    "flow id " + std::to_string(static_cast<long long>(id)) +
+                        " has unbalanced s/f events (" +
+                        std::to_string(balance) + ")");
+  }
+  return ok;
+}
+
+enum class mode { bench, report, trace };
+
+bool check_file(const std::string& path, mode m) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << path << ": cannot open\n";
@@ -47,16 +138,13 @@ bool check_file(const std::string& path, const std::vector<std::string>& keys) {
     std::cerr << path << ": parse error: " << err << '\n';
     return false;
   }
-  if (!doc->is_object()) {
-    std::cerr << path << ": top-level value is not an object\n";
-    return false;
-  }
+  if (!doc->is_object())
+    return complain(path, doc->offset, "top-level value is not an object");
   bool ok = true;
-  for (const std::string& k : keys) {
-    if (doc->find(k) == nullptr) {
-      std::cerr << path << ": missing required key \"" << k << "\"\n";
-      ok = false;
-    }
+  switch (m) {
+    case mode::bench: ok = check_keys(path, *doc, bench_keys); break;
+    case mode::report: ok = check_keys(path, *doc, report_keys); break;
+    case mode::trace: ok = check_trace(path, *doc); break;
   }
   if (ok) std::cout << path << ": OK\n";
   return ok;
@@ -65,24 +153,25 @@ bool check_file(const std::string& path, const std::vector<std::string>& keys) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool report_mode = false;
+  mode m = mode::bench;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--report") {
-      report_mode = true;
+      m = mode::report;
     } else if (a == "--bench") {
-      report_mode = false;
+      m = mode::bench;
+    } else if (a == "--trace") {
+      m = mode::trace;
     } else {
       files.push_back(a);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: json_check [--report|--bench] FILE...\n";
+    std::cerr << "usage: json_check [--report|--bench|--trace] FILE...\n";
     return 2;
   }
   bool all_ok = true;
-  for (const std::string& f : files)
-    all_ok = check_file(f, report_mode ? report_keys : bench_keys) && all_ok;
+  for (const std::string& f : files) all_ok = check_file(f, m) && all_ok;
   return all_ok ? 0 : 1;
 }

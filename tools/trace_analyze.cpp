@@ -1,0 +1,212 @@
+// trace_analyze — read a causal trace (discovery_cli --trace / Perfetto
+// JSON) and explain the run: critical path, fan-out, per-type latency.
+//
+//   trace_analyze [options] FILE...
+//     --path-lines N   print at most N hops of the critical path (default 24)
+//     --quiet          summary lines only (no per-hop path listing)
+//
+// The trace is self-contained: every 'X' slice carries its causal record
+// (id, cause, release, lamport) in "args", so the genealogy is rebuilt from
+// the JSON alone and re-verified here — lamport values must satisfy
+// max(parent lamports) + 1.  Exit 0 iff every file parses, reconstructs,
+// and passes the consistency checks.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/critical_path.h"
+#include "telemetry/json.h"
+#include "telemetry/tracer.h"
+
+namespace {
+
+using namespace asyncrd;
+using telemetry::json_parse;
+using telemetry::json_value;
+using telemetry::trace_event;
+using telemetry::trace_none;
+
+std::uint64_t num_or(const json_value& obj, std::string_view key,
+                     std::uint64_t fallback) {
+  const json_value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+/// Rebuilds trace events from the 'X' slices of a trace document.
+/// Returns false (with a message) if the file is not a usable trace.
+bool load_trace(const std::string& path, std::vector<trace_event>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = json_parse(buf.str(), &err);
+  if (!doc.has_value()) {
+    std::cerr << path << ": parse error: " << err << '\n';
+    return false;
+  }
+  const json_value* evs = doc->find("traceEvents");
+  if (evs == nullptr || !evs->is_array()) {
+    std::cerr << path << ": no \"traceEvents\" array (at byte "
+              << doc->offset << ")\n";
+    return false;
+  }
+  for (const json_value& ev : evs->as_array()) {
+    const json_value* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") continue;
+    const json_value* args = ev.find("args");
+    const json_value* name = ev.find("name");
+    const json_value* cat = ev.find("cat");
+    if (args == nullptr || !args->is_object() || name == nullptr ||
+        cat == nullptr) {
+      std::cerr << path << ": slice without args/name/cat (at byte "
+                << ev.offset << ")\n";
+      return false;
+    }
+    trace_event t;
+    t.id = num_or(*args, "id", 0);
+    t.cause = num_or(*args, "cause", trace_none);
+    t.release = num_or(*args, "release", trace_none);
+    t.lamport = num_or(*args, "lamport", 0);
+    t.sends = static_cast<std::uint32_t>(num_or(*args, "sends", 0));
+    t.at = num_or(ev, "ts", 0);
+    t.to = static_cast<node_id>(num_or(ev, "tid", invalid_node));
+    if (cat->as_string() == "wake") {
+      t.what = trace_event::kind::wake;
+    } else {
+      t.what = trace_event::kind::deliver;
+      t.type = name->as_string();
+      t.from = static_cast<node_id>(num_or(*args, "from", invalid_node));
+      t.sent_at = num_or(*args, "sent_at", 0);
+      t.bits = num_or(*args, "bits", 0);
+    }
+    out.push_back(std::move(t));
+  }
+  if (out.empty()) {
+    std::cerr << path << ": trace contains no activations\n";
+    return false;
+  }
+  return true;
+}
+
+/// Recomputes every Lamport timestamp from the parent edges and compares
+/// with what the file claims; also recomputes the binding parent.
+bool verify_and_bind(const std::string& path, std::vector<trace_event>& evs) {
+  std::unordered_map<std::uint64_t, const trace_event*> by_id;
+  by_id.reserve(evs.size());
+  const auto lamport_of = [&](std::uint64_t id) -> std::uint64_t {
+    if (id == trace_none) return 0;
+    const auto it = by_id.find(id);
+    return it == by_id.end() ? 0 : it->second->lamport;
+  };
+  for (trace_event& e : evs) {
+    const std::uint64_t lc = lamport_of(e.cause);
+    const std::uint64_t lr = lamport_of(e.release);
+    const std::uint64_t want = std::max(lc, lr) + 1;
+    if (e.lamport != want) {
+      std::cerr << path << ": event " << e.id << " claims lamport "
+                << e.lamport << ", causal parents imply " << want << '\n';
+      return false;
+    }
+    if (e.cause == trace_none && e.release == trace_none)
+      e.parent = trace_none;
+    else
+      e.parent = lc >= lr ? (e.cause != trace_none ? e.cause : e.release)
+                          : e.release;
+    by_id.emplace(e.id, &e);
+  }
+  return true;
+}
+
+void print_path(const telemetry::critical_path& cp, std::size_t max_lines) {
+  std::cout << "critical path (" << cp.length << " hops, ends at t="
+            << cp.makespan << "):\n";
+  const std::size_t n = cp.chain.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (n > max_lines && i == max_lines / 2) {
+      std::cout << "  ... (" << n - max_lines << " hops elided) ...\n";
+      i = n - (max_lines - max_lines / 2) - 1;
+      continue;
+    }
+    const trace_event& e = cp.chain[i];
+    std::cout << "  [" << e.lamport << "] t=" << e.at << ' ';
+    if (e.what == trace_event::kind::wake)
+      std::cout << "wake    " << e.to;
+    else
+      std::cout << "deliver " << e.from << " -> " << e.to << ' ' << e.type
+                << (e.release != trace_none ? "  (released)" : "");
+    std::cout << '\n';
+  }
+  std::cout << "hops by type:";
+  for (const auto& [type, hops] : cp.hops_by_type)
+    std::cout << "  " << type << "=" << hops;
+  std::cout << '\n';
+}
+
+bool analyze(const std::string& path, std::size_t path_lines, bool quiet) {
+  std::vector<trace_event> evs;
+  if (!load_trace(path, evs)) return false;
+  if (!verify_and_bind(path, evs)) return false;
+
+  std::cout << "== " << path << " ==\n";
+  std::uint64_t wakes = 0, delivers = 0;
+  for (const trace_event& e : evs)
+    (e.what == trace_event::kind::wake ? wakes : delivers) += 1;
+  std::cout << "activations: " << evs.size() << " (" << wakes << " wakes, "
+            << delivers << " deliveries)\n";
+
+  const auto cp = telemetry::extract_critical_path(evs);
+  if (quiet)
+    std::cout << "critical path: " << cp.length << " hops, ends at t="
+              << cp.makespan << '\n';
+  else
+    print_path(cp, path_lines);
+
+  const auto fan = telemetry::compute_fanout(evs);
+  std::cout << "fan-out: mean " << fan.mean_fanout << ", max "
+            << fan.max_fanout << " (event " << fan.max_fanout_event
+            << "), " << fan.sends << " sends attributed\n";
+
+  std::cout << "latency by type (sim-time units):\n";
+  for (const auto& [type, tl] : telemetry::latency_by_type(evs))
+    std::cout << "  " << type << ": n=" << tl.count << " mean="
+              << tl.mean_delay() << " max=" << tl.max_delay << '\n';
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t path_lines = 24;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--path-lines" && i + 1 < argc) {
+      path_lines = std::stoull(argv[++i]);
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "usage: trace_analyze [--path-lines N] [--quiet] FILE...\n";
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: trace_analyze [--path-lines N] [--quiet] FILE...\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (const std::string& f : files)
+    all_ok = analyze(f, path_lines, quiet) && all_ok;
+  return all_ok ? 0 : 1;
+}
