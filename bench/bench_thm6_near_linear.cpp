@@ -7,12 +7,15 @@
 // column grows like log n while Bounded and Ad-hoc stay essentially flat
 // (alpha(n, n) <= 4 for any feasible n).
 #include <iostream>
+#include <vector>
 
 #include "bench_report.h"
 #include "common/bitmath.h"
 #include "common/table.h"
 #include "core/runner.h"
 #include "graph/topology.h"
+#include "sim/sweep.h"
+#include "telemetry/metrics.h"
 #include "unionfind/ackermann.h"
 
 int main(int argc, char** argv) {
@@ -26,11 +29,28 @@ int main(int argc, char** argv) {
                 "generic/n", "bounded/n", "adhoc/n"});
   bool all_ok = true;
 
-  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    const auto g = graph::random_weakly_connected(n, n, 101 + n);
-    const auto gen = core::run_discovery(g, core::variant::generic, 3);
-    const auto bnd = core::run_discovery(g, core::variant::bounded, 3);
-    const auto adh = core::run_discovery(g, core::variant::adhoc, 3);
+  const std::vector<std::size_t> sizes = {64, 128, 256, 512,
+                                          1024, 2048, 4096};
+  struct datapoint {
+    core::run_summary gen, bnd, adh;
+  };
+  std::vector<datapoint> results(sizes.size());
+
+  // The (n, variant) measurements are independent simulations: one job per
+  // size, fanned out over sim::parallel_sweep workers.  Rows are merged in
+  // size order below, so the report is byte-identical on any core count.
+  const sim::sweep_result sw = sim::parallel_sweep(
+      sizes.size(), [&](std::size_t i, std::size_t /*worker*/) {
+        const std::size_t n = sizes[i];
+        const auto g = graph::random_weakly_connected(n, n, 101 + n);
+        results[i].gen = core::run_discovery(g, core::variant::generic, 3);
+        results[i].bnd = core::run_discovery(g, core::variant::bounded, 3);
+        results[i].adh = core::run_discovery(g, core::variant::adhoc, 3);
+      });
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& [gen, bnd, adh] = results[i];
     all_ok = all_ok && gen.completed && bnd.completed && adh.completed &&
              gen.leaders.size() == 1 && bnd.leaders.size() == 1 &&
              adh.leaders.size() == 1;
@@ -51,6 +71,11 @@ int main(int argc, char** argv) {
                fmt_double(static_cast<double>(bnd.messages) / dn),
                fmt_double(static_cast<double>(adh.messages) / dn)});
   }
+
+  telemetry::registry reg;
+  telemetry::record_sweep(reg, "bench.thm6_near_linear", sw);
+  rep.note("sweep_workers", reg.get_gauge("bench.thm6_near_linear.workers").value());
+  rep.note("sweep_wall_ms", reg.get_gauge("bench.thm6_near_linear.wall_ms").value());
 
   t.print(std::cout);
   std::cout << "\npaper: Theorem 5 vs Theorem 6 — generic/n should grow"

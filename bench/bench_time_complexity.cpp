@@ -9,7 +9,12 @@
 // causal message chain.  The paper predicts linear-in-n time (the price of
 // the sequential conquest structure), versus the polylogarithmic round
 // counts of the synchronous baselines on the same graphs.
+//
+// The per-size measurements are independent simulations, so they fan out
+// over sim::parallel_sweep workers; rows are merged back in size order, so
+// the table and the JSON are identical no matter how many cores ran it.
 #include <iostream>
+#include <vector>
 
 #include "bench_report.h"
 #include "baselines/name_dropper.h"
@@ -18,6 +23,8 @@
 #include "common/table.h"
 #include "core/runner.h"
 #include "graph/topology.h"
+#include "sim/sweep.h"
+#include "telemetry/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace asyncrd;
@@ -29,29 +36,53 @@ int main(int argc, char** argv) {
                 "NameDropper rounds", "ptr-dbl rounds"});
   bool all_ok = true;
 
-  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-    const auto g = graph::random_weakly_connected(n, n, 71 + n);
-    const auto gen = core::run_discovery(g, core::variant::generic, 0);
-    const auto bnd = core::run_discovery(g, core::variant::bounded, 0);
-    const auto adh = core::run_discovery(g, core::variant::adhoc, 0);
-    const auto nd = baselines::run_name_dropper(g, 5);
-    const auto pd = baselines::run_pointer_doubling(g);
-    all_ok = all_ok && gen.completed && bnd.completed && adh.completed;
+  const std::vector<std::size_t> sizes = {64, 128, 256, 512, 1024, 2048};
+
+  struct datapoint {
+    core::run_summary gen, bnd, adh;
+    baselines::baseline_result nd, pd;
+  };
+  std::vector<datapoint> results(sizes.size());
+
+  // One job per problem size; each worker touches only its own slot.
+  const sim::sweep_result sw = sim::parallel_sweep(
+      sizes.size(), [&](std::size_t i, std::size_t /*worker*/) {
+        const std::size_t n = sizes[i];
+        const auto g = graph::random_weakly_connected(n, n, 71 + n);
+        datapoint& d = results[i];
+        d.gen = core::run_discovery(g, core::variant::generic, 0);
+        d.bnd = core::run_discovery(g, core::variant::bounded, 0);
+        d.adh = core::run_discovery(g, core::variant::adhoc, 0);
+        d.nd = baselines::run_name_dropper(g, 5);
+        d.pd = baselines::run_pointer_doubling(g);
+      });
+
+  // Merge in size order: results are keyed by job index, never by worker
+  // completion order, so the report is deterministic.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const datapoint& d = results[i];
+    all_ok = all_ok && d.gen.completed && d.bnd.completed && d.adh.completed;
     const double dn = static_cast<double>(n);
-    rep.add("generic", dn, static_cast<double>(gen.completion_time), dn);
-    rep.add("bounded", dn, static_cast<double>(bnd.completion_time), dn);
-    rep.add("adhoc", dn, static_cast<double>(adh.completion_time), dn);
-    rep.merge_types(gen.by_type);
-    rep.merge_types(bnd.by_type);
-    rep.merge_types(adh.by_type);
-    t.add_row({std::to_string(n), std::to_string(gen.completion_time),
-               std::to_string(bnd.completion_time),
-               std::to_string(adh.completion_time),
-               fmt_double(static_cast<double>(gen.completion_time) /
+    rep.add("generic", dn, static_cast<double>(d.gen.completion_time), dn);
+    rep.add("bounded", dn, static_cast<double>(d.bnd.completion_time), dn);
+    rep.add("adhoc", dn, static_cast<double>(d.adh.completion_time), dn);
+    rep.merge_types(d.gen.by_type);
+    rep.merge_types(d.bnd.by_type);
+    rep.merge_types(d.adh.by_type);
+    t.add_row({std::to_string(n), std::to_string(d.gen.completion_time),
+               std::to_string(d.bnd.completion_time),
+               std::to_string(d.adh.completion_time),
+               fmt_double(static_cast<double>(d.gen.completion_time) /
                           static_cast<double>(n)),
-               std::to_string(ceil_log2(n)), std::to_string(nd.rounds),
-               std::to_string(pd.rounds)});
+               std::to_string(ceil_log2(n)), std::to_string(d.nd.rounds),
+               std::to_string(d.pd.rounds)});
   }
+
+  telemetry::registry reg;
+  telemetry::record_sweep(reg, "bench.time_complexity", sw);
+  rep.note("sweep_workers", reg.get_gauge("bench.time_complexity.workers").value());
+  rep.note("sweep_wall_ms", reg.get_gauge("bench.time_complexity.wall_ms").value());
 
   t.print(std::cout);
   std::cout << "\npaper: §7 — this algorithm trades time for messages:"

@@ -1,0 +1,115 @@
+// Sorted-vector set with std::set's ascending iteration order.
+//
+// The discovery engine's per-node id sets (local, more, done, unaware,
+// unexplored, known, contacts) are queried and iterated far more often than
+// they are mutated, and the protocol's bulk growth (info-message absorption)
+// arrives as already-sorted ranges.  A red-black tree pays an allocation and
+// a pointer chase per element for ordering the flat vector gets for free;
+// profiles of large runs showed the _Rb_tree machinery among the simulator's
+// hottest symbols.  flat_set keeps the elements contiguous: membership is a
+// binary search, iteration is a linear scan, and bulk insertion is one
+// merge.
+//
+// Determinism contract: iteration visits elements in strictly ascending
+// order — exactly std::set's order — so every "pick the smallest" and
+// "iterate members" decision in the engine is unchanged.
+//
+// Deliberate deviations from std::set:
+//  * insert(value) returns bool (inserted?) instead of (iterator, bool);
+//  * erase(first, last) erases a positional range (used by self_query's
+//    prefix extraction);
+//  * single-element insert/erase shift the vector tail: O(size) worst case,
+//    which the engine's set sizes amortize well below tree-node overhead.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <set>
+#include <vector>
+
+namespace asyncrd {
+
+template <typename T>
+class flat_set {
+ public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+  using iterator = const_iterator;  // elements are immutable in place
+
+  flat_set() = default;
+  flat_set(std::initializer_list<T> init) : data_(init) { normalize(); }
+  template <typename It>
+  flat_set(It first, It last) : data_(first, last) {
+    normalize();
+  }
+  /// Adopts an ordered container (e.g. the std::set the harness API takes).
+  explicit flat_set(const std::set<T>& s) : data_(s.begin(), s.end()) {}
+
+  const_iterator begin() const noexcept { return data_.begin(); }
+  const_iterator end() const noexcept { return data_.end(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  void clear() noexcept { data_.clear(); }
+
+  bool contains(const T& v) const noexcept {
+    return std::binary_search(data_.begin(), data_.end(), v);
+  }
+  std::size_t count(const T& v) const noexcept { return contains(v) ? 1 : 0; }
+
+  const_iterator find(const T& v) const noexcept {
+    const auto it = std::lower_bound(data_.begin(), data_.end(), v);
+    return it != data_.end() && *it == v ? it : data_.end();
+  }
+
+  /// Inserts `v` if absent; returns true iff it was inserted.
+  bool insert(const T& v) {
+    const auto it = std::lower_bound(data_.begin(), data_.end(), v);
+    if (it != data_.end() && *it == v) return false;
+    data_.insert(it, v);
+    return true;
+  }
+
+  /// Bulk insert: one merge, regardless of how the ranges interleave.
+  /// The input need not be sorted or unique.
+  template <typename It>
+  void insert(It first, It last) {
+    if (first == last) return;
+    const std::size_t old = data_.size();
+    data_.insert(data_.end(), first, last);
+    std::sort(data_.begin() + static_cast<std::ptrdiff_t>(old), data_.end());
+    std::inplace_merge(data_.begin(),
+                       data_.begin() + static_cast<std::ptrdiff_t>(old),
+                       data_.end());
+    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+  }
+
+  std::size_t erase(const T& v) {
+    const auto it = std::lower_bound(data_.begin(), data_.end(), v);
+    if (it == data_.end() || *it != v) return 0;
+    data_.erase(it);
+    return 1;
+  }
+
+  const_iterator erase(const_iterator pos) { return data_.erase(pos); }
+  const_iterator erase(const_iterator first, const_iterator last) {
+    return data_.erase(first, last);
+  }
+
+  friend bool operator==(const flat_set& a, const flat_set& b) {
+    return a.data_ == b.data_;
+  }
+  /// Test convenience: compare against a std::set literal.
+  friend bool operator==(const flat_set& a, const std::set<T>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  void normalize() {
+    std::sort(data_.begin(), data_.end());
+    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+  }
+
+  std::vector<T> data_;
+};
+
+}  // namespace asyncrd

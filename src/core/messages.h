@@ -17,6 +17,32 @@ namespace asyncrd::core {
 /// Phase counter.  Grows like a union-by-rank rank: never exceeds log2 n.
 using phase_t = std::uint32_t;
 
+/// Dispatch tags for the core vocabulary (sim::message::dispatch_tag).
+/// node::accepts/handle switch on these instead of chaining dynamic_casts —
+/// the receive path runs once per delivered message, which makes RTTI
+/// dispatch the single hottest branch tree in a large run.  Zero stays
+/// reserved for "untagged" (foreign message types defer forever, exactly as
+/// the old cast chain rejected them).
+enum class msg_kind : std::uint8_t {
+  query = 1,
+  query_reply,
+  search,
+  release,
+  merge_accept,
+  merge_fail,
+  info,
+  conquer,
+  member_reply,
+  probe,
+  probe_reply,
+  report,
+  report_ack,
+};
+
+constexpr std::uint8_t tag_of(msg_kind k) noexcept {
+  return static_cast<std::uint8_t>(k);
+}
+
 /// Lexicographic (phase, id) order used for all conquest decisions.
 inline bool lex_greater(phase_t pa, node_id a, phase_t pb, node_id b) noexcept {
   return pa != pb ? pa > pb : a > b;
@@ -29,7 +55,8 @@ inline bool lex_greater(phase_t pa, node_id a, phase_t pb, node_id b) noexcept {
 /// Leader -> member: "remove min{k, |local|} ids from your local set and
 /// send them back".
 struct query_msg final : sim::message {
-  explicit query_msg(std::size_t k) : requested(k) {}
+  explicit query_msg(std::size_t k)
+      : sim::message(tag_of(msg_kind::query)), requested(k) {}
   std::size_t requested;
 
   std::string_view type_name() const noexcept override { return "query"; }
@@ -41,7 +68,9 @@ struct query_msg final : sim::message {
 /// empty" (move me from `more` to `done`).
 struct query_reply_msg final : sim::message {
   query_reply_msg(std::vector<node_id> s, bool done)
-      : ids(std::move(s)), done_flag(done) {}
+      : sim::message(tag_of(msg_kind::query_reply)),
+        ids(std::move(s)),
+        done_flag(done) {}
   std::vector<node_id> ids;
   bool done_flag;
 
@@ -60,7 +89,11 @@ struct query_reply_msg final : sim::message {
 /// `done` to `more`).
 struct search_msg final : sim::message {
   search_msg(node_id init, phase_t ph, node_id tgt, bool nf)
-      : initiator(init), initiator_phase(ph), target(tgt), new_flag(nf) {}
+      : sim::message(tag_of(msg_kind::search)),
+        initiator(init),
+        initiator_phase(ph),
+        target(tgt),
+        new_flag(nf) {}
   node_id initiator;
   phase_t initiator_phase;
   node_id target;
@@ -78,7 +111,11 @@ struct search_msg final : sim::message {
 struct release_msg final : sim::message {
   enum class answer_t : std::uint8_t { merge, abort };
   release_msg(node_id l, phase_t lp, answer_t a, node_id v)
-      : from_leader(l), from_phase(lp), answer(a), initiator(v) {}
+      : sim::message(tag_of(msg_kind::release)),
+        from_leader(l),
+        from_phase(lp),
+        answer(a),
+        initiator(v) {}
   node_id from_leader;
   /// Phase of the responding leader.  Not in the paper's ⟨l, answer, v⟩
   /// format; carried so path compression can keep next-pointer updates
@@ -100,7 +137,10 @@ struct release_msg final : sim::message {
 
 /// Conqueror -> conquered: "your merge request is accepted, ship your data".
 struct merge_accept_msg final : sim::message {
-  merge_accept_msg(node_id c, phase_t cp) : conqueror(c), conqueror_phase(cp) {}
+  merge_accept_msg(node_id c, phase_t cp)
+      : sim::message(tag_of(msg_kind::merge_accept)),
+        conqueror(c),
+        conqueror_phase(cp) {}
   node_id conqueror;
   phase_t conqueror_phase;
 
@@ -112,6 +152,8 @@ struct merge_accept_msg final : sim::message {
 /// Sent to a would-be conqueror that is no longer able to accept the merge
 /// (it was itself conquered, went passive, or became inactive meanwhile).
 struct merge_fail_msg final : sim::message {
+  merge_fail_msg() : sim::message(tag_of(msg_kind::merge_fail)) {}
+
   std::string_view type_name() const noexcept override { return "merge_fail"; }
   std::size_t id_fields() const noexcept override { return 0; }
 };
@@ -122,7 +164,8 @@ struct merge_fail_msg final : sim::message {
 struct info_msg final : sim::message {
   info_msg(phase_t ph, std::vector<node_id> m, std::vector<node_id> d,
            std::vector<node_id> ua, std::vector<node_id> ux)
-      : phase(ph),
+      : sim::message(tag_of(msg_kind::info)),
+        phase(ph),
         more(std::move(m)),
         done(std::move(d)),
         unaware(std::move(ua)),
@@ -147,7 +190,8 @@ struct info_msg final : sim::message {
 /// Leader -> member: "I am your leader now" (carries the phase so members
 /// ignore stale conquerors, per the §4.4 text).
 struct conquer_msg final : sim::message {
-  conquer_msg(node_id l, phase_t ph) : leader(l), phase(ph) {}
+  conquer_msg(node_id l, phase_t ph)
+      : sim::message(tag_of(msg_kind::conquer)), leader(l), phase(ph) {}
   node_id leader;
   phase_t phase;
 
@@ -159,7 +203,8 @@ struct conquer_msg final : sim::message {
 /// Member -> leader: the "more/done message" answering a conquer — one bit
 /// saying whether the member's local set still holds unreported ids.
 struct member_reply_msg final : sim::message {
-  explicit member_reply_msg(bool more) : has_more(more) {}
+  explicit member_reply_msg(bool more)
+      : sim::message(tag_of(msg_kind::member_reply)), has_more(more) {}
   bool has_more;
 
   std::string_view type_name() const noexcept override { return "more_done"; }
@@ -175,7 +220,8 @@ struct member_reply_msg final : sim::message {
 /// component, it sends a message to the leader (similar to the search
 /// messages)".  Routed via `next` pointers and the `previous` queues.
 struct probe_msg final : sim::message {
-  explicit probe_msg(node_id r) : requester(r) {}
+  explicit probe_msg(node_id r)
+      : sim::message(tag_of(msg_kind::probe)), requester(r) {}
   node_id requester;
 
   std::string_view type_name() const noexcept override { return "probe"; }
@@ -187,7 +233,10 @@ struct probe_msg final : sim::message {
 struct probe_reply_msg final : sim::message {
   probe_reply_msg(node_id l, phase_t lp, node_id r,
                   std::vector<node_id> census_ids)
-      : leader(l), leader_phase(lp), requester(r),
+      : sim::message(tag_of(msg_kind::probe_reply)),
+        leader(l),
+        leader_phase(lp),
+        requester(r),
         census(std::move(census_ids)) {}
   node_id leader;
   phase_t leader_phase;
@@ -207,7 +256,8 @@ struct probe_reply_msg final : sim::message {
 /// true" — realized as a dedicated report that rides the search routing
 /// machinery; the leader moves u from `done` back to `more`.
 struct report_msg final : sim::message {
-  explicit report_msg(node_id r) : reporter(r) {}
+  explicit report_msg(node_id r)
+      : sim::message(tag_of(msg_kind::report)), reporter(r) {}
   node_id reporter;
 
   std::string_view type_name() const noexcept override { return "report"; }
@@ -217,7 +267,10 @@ struct report_msg final : sim::message {
 /// Acknowledgement routed back with path compression.
 struct report_ack_msg final : sim::message {
   report_ack_msg(node_id l, phase_t lp, node_id r)
-      : leader(l), leader_phase(lp), reporter(r) {}
+      : sim::message(tag_of(msg_kind::report_ack)),
+        leader(l),
+        leader_phase(lp),
+        reporter(r) {}
   node_id leader;
   phase_t leader_phase;
   node_id reporter;

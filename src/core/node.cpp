@@ -13,17 +13,26 @@ namespace asyncrd::core {
 namespace {
 
 /// set difference helper: items of `src` not present in any of the filters.
+/// Survivors are collected first so the destination grows by one merge
+/// instead of |src| individual inserts (info absorption ships whole sets).
 template <typename... Sets>
-void insert_unknown(std::set<node_id>& dst, const std::vector<node_id>& src,
+void insert_unknown(flat_set<node_id>& dst, const std::vector<node_id>& src,
                     node_id self, const Sets&... filters) {
+  // Scratch survives across calls: this runs once per absorbed reply/info,
+  // and a fresh vector here was a measurable slice of the run's mallocs.
+  // Safe: insert_unknown never re-enters itself.
+  static thread_local std::vector<node_id> keep;
+  keep.clear();
+  keep.reserve(src.size());
   for (const node_id v : src) {
     if (v == self) continue;
     if ((filters.contains(v) || ...)) continue;
-    dst.insert(v);
+    keep.push_back(v);
   }
+  dst.insert(keep.begin(), keep.end());
 }
 
-std::vector<node_id> to_vector(const std::set<node_id>& s) {
+std::vector<node_id> to_vector(const flat_set<node_id>& s) {
   return {s.begin(), s.end()};
 }
 
@@ -34,10 +43,10 @@ node::node(node_id id, const config& cfg, std::set<node_id> initial_local,
     : id_(id),
       cfg_(&cfg),
       component_size_(component_size),
-      local_(std::move(initial_local)),
+      local_(initial_local),  // ordered input: adopted without a re-sort
       next_(id) {
   local_.erase(id_);  // a node trivially knows itself; never reported
-  known_ = local_;
+  for (const node_id v : local_) known_.insert(v);
   known_.insert(id_);
   more_.insert(id_);  // Fig 2: more initially contains {id}
 }
@@ -78,13 +87,18 @@ bool node::knows_id(node_id v) const {
 }
 
 std::set<node_id> node::known_ids() const {
-  std::set<node_id> out = known_;
+  std::set<node_id> out;
+  known_.for_each([&out](std::uint64_t k) {
+    out.insert(static_cast<node_id>(k));
+  });
   out.insert(local_.begin(), local_.end());
   out.insert(more_.begin(), more_.end());
   out.insert(done_.begin(), done_.end());
   out.insert(unaware_.begin(), unaware_.end());
   out.insert(unexplored_.begin(), unexplored_.end());
-  out.insert(contacts_.begin(), contacts_.end());
+  contacts_.for_each([&out](std::uint64_t k) {
+    out.insert(static_cast<node_id>(k));
+  });
   if (next_ != id_) out.insert(next_);
   out.erase(id_);
   return out;
@@ -92,71 +106,77 @@ std::set<node_id> node::known_ids() const {
 
 bool node::accepts(const sim::message& m) const {
   using s = status_t;
-  // query is a pure local_-set transaction; answerable in any awake state.
-  if (dynamic_cast<const query_msg*>(&m) != nullptr) return true;
+  switch (static_cast<msg_kind>(m.dispatch_tag())) {
+    case msg_kind::query:
+      // query is a pure local_-set transaction; answerable in any awake
+      // state.
+      return true;
 
-  if (dynamic_cast<const query_reply_msg*>(&m) != nullptr)
-    return status_ == s::explore;
+    case msg_kind::query_reply:
+      return status_ == s::explore;
 
-  // Terminated (Bounded) leaders still answer stragglers: a search sent by
-  // an ex-leader *before* it was conquered may be delayed arbitrarily and
-  // arrive after termination; without a release-abort the routing queues
-  // along its path would stay wedged forever.
-  if (dynamic_cast<const search_msg*>(&m) != nullptr)
-    return status_ == s::wait || status_ == s::passive ||
-           status_ == s::inactive || status_ == s::terminated;
-
-  if (const auto* r = dynamic_cast<const release_msg*>(&m)) {
-    if (r->initiator == id_)
+    case msg_kind::search:
+      // Terminated (Bounded) leaders still answer stragglers: a search sent
+      // by an ex-leader *before* it was conquered may be delayed arbitrarily
+      // and arrive after termination; without a release-abort the routing
+      // queues along its path would stay wedged forever.
       return status_ == s::wait || status_ == s::passive ||
-             status_ == s::conquered || status_ == s::inactive;
-    return status_ == s::inactive;  // routing hop
+             status_ == s::inactive || status_ == s::terminated;
+
+    case msg_kind::release:
+      if (static_cast<const release_msg&>(m).initiator == id_)
+        return status_ == s::wait || status_ == s::passive ||
+               status_ == s::conquered || status_ == s::inactive;
+      return status_ == s::inactive;  // routing hop
+
+    case msg_kind::merge_accept:
+    case msg_kind::merge_fail:
+      return status_ == s::conquered;
+
+    case msg_kind::info:
+      return status_ == s::conqueror;
+
+    case msg_kind::conquer:
+      return status_ == s::inactive;
+
+    case msg_kind::member_reply:
+      return status_ == s::conqueror || status_ == s::terminated;
+
+    case msg_kind::probe:
+      return status_ == s::wait || status_ == s::inactive ||
+             status_ == s::terminated;
+
+    case msg_kind::probe_reply:
+      if (static_cast<const probe_reply_msg&>(m).requester == id_) return true;
+      return status_ == s::inactive;
+
+    case msg_kind::report:
+      return status_ == s::wait || status_ == s::passive ||
+             status_ == s::inactive || status_ == s::terminated;
+
+    case msg_kind::report_ack:
+      if (static_cast<const report_ack_msg&>(m).reporter == id_) return true;
+      return status_ == s::inactive;
+
+    default:
+      return false;  // untagged / foreign message: never consumed
   }
-
-  if (dynamic_cast<const merge_accept_msg*>(&m) != nullptr ||
-      dynamic_cast<const merge_fail_msg*>(&m) != nullptr)
-    return status_ == s::conquered;
-
-  if (dynamic_cast<const info_msg*>(&m) != nullptr)
-    return status_ == s::conqueror;
-
-  if (dynamic_cast<const conquer_msg*>(&m) != nullptr)
-    return status_ == s::inactive;
-
-  if (dynamic_cast<const member_reply_msg*>(&m) != nullptr)
-    return status_ == s::conqueror || status_ == s::terminated;
-
-  if (dynamic_cast<const probe_msg*>(&m) != nullptr)
-    return status_ == s::wait || status_ == s::inactive ||
-           status_ == s::terminated;
-
-  if (const auto* pr = dynamic_cast<const probe_reply_msg*>(&m)) {
-    if (pr->requester == id_) return true;
-    return status_ == s::inactive;
-  }
-
-  if (dynamic_cast<const report_msg*>(&m) != nullptr)
-    return status_ == s::wait || status_ == s::passive ||
-           status_ == s::inactive || status_ == s::terminated;
-
-  if (const auto* ra = dynamic_cast<const report_ack_msg*>(&m)) {
-    if (ra->reporter == id_) return true;
-    return status_ == s::inactive;
-  }
-
-  return false;
 }
 
 void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
-  if (const auto* q = dynamic_cast<const query_msg*>(m.get())) {
+  switch (static_cast<msg_kind>(m->dispatch_tag())) {
+  case msg_kind::query: {
+    const auto* q = static_cast<const query_msg*>(m.get());
     inactive_on_query(ctx, from, *q);
     return;
   }
-  if (const auto* qr = dynamic_cast<const query_reply_msg*>(m.get())) {
+  case msg_kind::query_reply: {
+    const auto* qr = static_cast<const query_reply_msg*>(m.get());
     apply_query_reply(ctx, from, qr->ids, qr->done_flag);
     return;
   }
-  if (const auto* srch = dynamic_cast<const search_msg*>(m.get())) {
+  case msg_kind::search: {
+    const auto* srch = static_cast<const search_msg*>(m.get());
     // --- Fig 5 target-side preprocessing, shared by every receiver role:
     // "if id == u.id and v.id ∉ local then local := local ∪ {v};
     //  M.new := true".  The literal test against `local` (not against
@@ -193,7 +213,8 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
     }
     return;
   }
-  if (const auto* rel = dynamic_cast<const release_msg*>(m.get())) {
+  case msg_kind::release: {
+    const auto* rel = static_cast<const release_msg*>(m.get());
     if (rel->initiator == id_) {
       if (status_ == status_t::wait) {
         leader_on_own_release(ctx, *rel);
@@ -225,35 +246,38 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
     }
     return;
   }
-  if (const auto* acc = dynamic_cast<const merge_accept_msg*>(m.get())) {
-    on_merge_accept(ctx, *acc);
+  case msg_kind::merge_accept: {
+    on_merge_accept(ctx, *static_cast<const merge_accept_msg*>(m.get()));
     return;
   }
-  if (dynamic_cast<const merge_fail_msg*>(m.get()) != nullptr) {
+  case msg_kind::merge_fail: {
     on_merge_fail(ctx);
     return;
   }
-  if (const auto* info = dynamic_cast<const info_msg*>(m.get())) {
-    on_info(ctx, from, *info);
+  case msg_kind::info: {
+    on_info(ctx, from, *static_cast<const info_msg*>(m.get()));
     return;
   }
-  if (const auto* cq = dynamic_cast<const conquer_msg*>(m.get())) {
-    on_conquer(ctx, from, *cq);
+  case msg_kind::conquer: {
+    on_conquer(ctx, from, *static_cast<const conquer_msg*>(m.get()));
     return;
   }
-  if (const auto* mr = dynamic_cast<const member_reply_msg*>(m.get())) {
+  case msg_kind::member_reply: {
+    const auto* mr = static_cast<const member_reply_msg*>(m.get());
     if (status_ == status_t::conqueror) on_member_reply(ctx, from, *mr);
     // terminated (Bounded): the final conquer's replies are absorbed.
     return;
   }
-  if (const auto* p = dynamic_cast<const probe_msg*>(m.get())) {
+  case msg_kind::probe: {
+    const auto* p = static_cast<const probe_msg*>(m.get());
     if (status_ == status_t::inactive)
       route_request(ctx, from, m);
     else
       leader_on_probe(ctx, from, *p);
     return;
   }
-  if (const auto* pr = dynamic_cast<const probe_reply_msg*>(m.get())) {
+  case msg_kind::probe_reply: {
+    const auto* pr = static_cast<const probe_reply_msg*>(m.get());
     if (pr->requester == id_) {
       census_ = census_result{pr->leader, pr->census, ctx.now()};
       // The requester is the deepest node on the find path; compress it too.
@@ -266,14 +290,16 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
     }
     return;
   }
-  if (const auto* rep = dynamic_cast<const report_msg*>(m.get())) {
+  case msg_kind::report: {
+    const auto* rep = static_cast<const report_msg*>(m.get());
     if (status_ == status_t::inactive)
       route_request(ctx, from, m);
     else
       leader_on_report(ctx, from, *rep);
     return;
   }
-  if (const auto* ra = dynamic_cast<const report_ack_msg*>(m.get())) {
+  case msg_kind::report_ack: {
+    const auto* ra = static_cast<const report_ack_msg*>(m.get());
     if (ra->reporter == id_) {  // our report reached the leader
       if (status_ == status_t::inactive && cfg_->path_compression)
         maybe_update_next(ra->leader_phase, ra->leader);
@@ -284,7 +310,9 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
     route_reply(ctx, ra->leader, m, ra->reporter);
     return;
   }
-  ASYNCRD_CHECK(false && "unhandled message type");
+  default:
+    ASYNCRD_CHECK(false && "unhandled message type");
+  }
 }
 
 void node::drain_deferred(sim::context& ctx) {
@@ -336,20 +364,23 @@ void node::explore_step(sim::context& ctx) {
 
     // Stale entries: ids discovered while unexplored that since became
     // members (absorbed via a merge).  Exploring a member would route a
-    // search back to ourselves; prune at pick time.
-    while (!unexplored_.empty() &&
-           (is_member(*unexplored_.begin()) || *unexplored_.begin() == id_))
-      unexplored_.erase(unexplored_.begin());
+    // search back to ourselves; prune at pick time.  The prune and the pick
+    // are erased as one prefix so the frontier shifts once, not per entry.
+    auto pick = unexplored_.begin();
+    while (pick != unexplored_.end() && (is_member(*pick) || *pick == id_))
+      ++pick;
 
-    if (!unexplored_.empty()) {
-      const node_id u = *unexplored_.begin();
-      unexplored_.erase(unexplored_.begin());
+    if (pick != unexplored_.end()) {
+      const node_id u = *pick;
+      unexplored_.erase(unexplored_.begin(), pick + 1);
       send_search(ctx, u);
       awaiting_release_ = true;
       set_status(status_t::wait);
       drain_deferred(ctx);
       return;
     }
+    // Entirely stale frontier: drop it (as the per-entry prune did).
+    unexplored_.erase(unexplored_.begin(), pick);
 
     if (more_.empty()) {
       // Out of work: wait until a search with the new flag (or a §6 report)
@@ -388,10 +419,11 @@ void node::self_query(std::size_t k, std::vector<node_id>& out,
     return;
   }
   done_flag = false;
-  out.reserve(k);
-  auto it = local_.begin();
-  for (std::size_t i = 0; i < k; ++i) out.push_back(*it++);
-  for (const node_id v : out) local_.erase(v);
+  // flat_set iterates ascending, so the extracted prefix is exactly the k
+  // smallest ids — the same picks std::set made — removable in one shift.
+  const auto cut = local_.begin() + static_cast<std::ptrdiff_t>(k);
+  out.assign(local_.begin(), cut);
+  local_.erase(local_.begin(), cut);
 }
 
 void node::absorb_query_reply(node_id w, const std::vector<node_id>& ids,
@@ -716,7 +748,7 @@ void node::send_search(sim::context& ctx, node_id u) {
 }
 
 std::vector<node_id> node::census_ids() const {
-  std::set<node_id> all = more_;
+  flat_set<node_id> all = more_;
   all.insert(done_.begin(), done_.end());
   all.insert(unaware_.begin(), unaware_.end());
   all.insert(id_);

@@ -27,6 +27,8 @@
 #include <set>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/flat_set.h"
 #include "common/ids.h"
 #include "core/messages.h"
 #include "core/status.h"
@@ -110,11 +112,13 @@ class node final : public sim::process {
   phase_t phase() const noexcept { return phase_; }
   node_id next() const noexcept { return next_; }
 
-  const std::set<node_id>& local() const noexcept { return local_; }
-  const std::set<node_id>& more() const noexcept { return more_; }
-  const std::set<node_id>& done() const noexcept { return done_; }
-  const std::set<node_id>& unaware() const noexcept { return unaware_; }
-  const std::set<node_id>& unexplored() const noexcept { return unexplored_; }
+  const flat_set<node_id>& local() const noexcept { return local_; }
+  const flat_set<node_id>& more() const noexcept { return more_; }
+  const flat_set<node_id>& done() const noexcept { return done_; }
+  const flat_set<node_id>& unaware() const noexcept { return unaware_; }
+  const flat_set<node_id>& unexplored() const noexcept {
+    return unexplored_;
+  }
 
   /// Members this leader would report: more ∪ done ∪ unaware.
   std::vector<node_id> known_members() const;
@@ -204,15 +208,23 @@ class node final : public sim::process {
 
   // -- Fig 2 data structures --
   status_t status_ = status_t::asleep;
-  std::set<node_id> local_;
+  // All id sets are sorted flat vectors (common/flat_set.h): same ascending
+  // iteration order as the std::set they replace, so every deterministic
+  // "smallest first" choice is preserved, at a fraction of the per-element
+  // cost on the delivery hot path.
+  flat_set<node_id> local_;
   /// Every id this node has ever had in `local` (E0 out-neighborhood plus
   /// ids learned from search preprocessing and dynamic link additions).
-  std::set<node_id> known_;
+  /// Audit-only (membership queries; never iterated for protocol
+  /// decisions), so a hash set: grown once per search at hub nodes.
+  flat_u64_set known_;
   /// Every node this node has ever received a message from (the model also
   /// grows E on receipt: a message implicitly carries its sender's id).
-  /// Only used by knows_id() for the knowledge-discipline audit.
-  std::set<node_id> contacts_;
-  std::set<node_id> more_, done_, unaware_, unexplored_;
+  /// Only used by knows_id() for the knowledge-discipline audit — a hash
+  /// set: one idempotent insert per delivered message is the single most
+  /// frequent set operation in the engine.
+  flat_u64_set contacts_;
+  flat_set<node_id> more_, done_, unaware_, unexplored_;
   /// FIFO of (routed request, node it arrived from) awaiting this node's
   /// `next` hop; only the head is in flight at any time.
   std::deque<std::pair<sim::message_ptr, node_id>> previous_;

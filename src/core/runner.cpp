@@ -11,6 +11,10 @@ discovery_run::discovery_run(const graph::digraph& g, config cfg,
     : cfg_(cfg), net_(sched) {
   std::map<node_id, std::size_t> sizes;
   if (cfg_.algo == variant::bounded) sizes = g.weak_component_sizes();
+  // g.nodes() is ascending, and every generator hands out ids 0..n-1, so
+  // the network's slot indices coincide with ids (the dense fast path);
+  // arbitrary id sets still work through the hash fallback.
+  net_.reserve_nodes(g.node_count());
   for (const node_id v : g.nodes()) {
     const std::size_t csize =
         cfg_.algo == variant::bounded ? sizes.at(v) : std::size_t{0};

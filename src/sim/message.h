@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -20,6 +21,13 @@ namespace asyncrd::sim {
 class message {
  public:
   virtual ~message() = default;
+
+  /// Cheap dispatch tag for protocol layers whose receive path would
+  /// otherwise chain dynamic_casts per delivery.  0 means untagged (the
+  /// receiver falls back to whatever general dispatch it has); a protocol
+  /// layer reserves its own nonzero values (core/messages.h) and may
+  /// static_cast after switching on the tag.
+  std::uint8_t dispatch_tag() const noexcept { return tag_; }
 
   /// Stable name used for per-type accounting (e.g. "search", "release").
   virtual std::string_view type_name() const noexcept = 0;
@@ -40,14 +48,77 @@ class message {
   }
 
   static constexpr std::size_t header_bits = 4;
+
+ protected:
+  message() noexcept = default;
+  explicit message(std::uint8_t tag) noexcept : tag_(tag) {}
+
+ private:
+  std::uint8_t tag_ = 0;
 };
 
 using message_ptr = std::shared_ptr<const message>;
 
-/// Convenience factory: make_message<search_msg>(args...).
+// --- pooled message allocation --------------------------------------------
+//
+// One heap allocation per send used to dominate the simulator's hot path
+// (make_shared -> operator new for every message).  make_message now routes
+// through a size-classed free-list pool: allocate_shared places control
+// block and payload in one block, and freed blocks are recycled instead of
+// returned to the heap.  The common case (send -> deliver -> drop, nothing
+// parked) becomes two pointer pops/pushes on a thread-local free list.
+//
+// The pool is thread-local, so parallel_sweep workers need no coordination;
+// a block freed on a different thread than it was allocated on simply
+// migrates to the freeing thread's pool (the memory itself is ordinary
+// operator-new memory, owned by no thread).
+
+namespace pool_detail {
+
+/// Allocates `bytes` from the calling thread's pool (falls back to
+/// operator new for sizes above the largest size class).
+void* allocate(std::size_t bytes);
+
+/// Returns a block to the calling thread's pool (or the heap).
+void deallocate(void* p, std::size_t bytes) noexcept;
+
+/// Blocks currently cached by the calling thread's pool (tests/telemetry).
+std::size_t cached_blocks() noexcept;
+
+/// Frees every cached block of the calling thread back to the heap.
+void trim() noexcept;
+
+}  // namespace pool_detail
+
+/// Minimal allocator over the thread-local message pool, for
+/// std::allocate_shared.  Stateless: all instances compare equal.
+template <typename T>
+struct pool_allocator {
+  using value_type = T;
+
+  pool_allocator() noexcept = default;
+  template <typename U>
+  pool_allocator(const pool_allocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_detail::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_detail::deallocate(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const pool_allocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Convenience factory: make_message<search_msg>(args...).  Control block
+/// and message share one pooled allocation.
 template <typename M, typename... Args>
 message_ptr make_message(Args&&... args) {
-  return std::make_shared<const M>(std::forward<Args>(args)...);
+  return std::allocate_shared<const M>(pool_allocator<const M>{},
+                                       std::forward<Args>(args)...);
 }
 
 }  // namespace asyncrd::sim

@@ -1,0 +1,92 @@
+// Thread-local size-classed free-list pool behind sim::make_message.
+//
+// Size classes are 16-byte steps up to 512 bytes — every concrete message in
+// the tree (a vtable pointer plus a handful of ids/integers, wrapped in a
+// shared_ptr control block) lands in the first few classes.  Each class
+// caches up to `max_cached` blocks; beyond that, frees go straight to the
+// heap so a pathological burst cannot pin memory forever.
+#include "sim/message.h"
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace asyncrd::sim::pool_detail {
+
+namespace {
+
+constexpr std::size_t class_step = 16;
+constexpr std::size_t class_count = 32;  // largest pooled block: 512 bytes
+constexpr std::size_t max_bytes = class_step * class_count;
+constexpr std::size_t max_cached = 4096;  // per class, per thread
+
+struct free_lists {
+  std::vector<void*> cls[class_count];
+
+  ~free_lists() {
+    for (auto& list : cls)
+      for (void* p : list) ::operator delete(p);
+  }
+};
+
+free_lists& local() {
+  thread_local free_lists lists;
+  return lists;
+}
+
+/// Class index for a byte size (size must be in (0, max_bytes]).
+std::size_t class_of(std::size_t bytes) noexcept {
+  return (bytes - 1) / class_step;
+}
+
+}  // namespace
+
+void* allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > max_bytes) return ::operator new(bytes);
+  auto& list = local().cls[class_of(bytes)];
+  if (!list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  // Allocate the class's full size so the block is reusable for any request
+  // in the same class.
+  return ::operator new((class_of(bytes) + 1) * class_step);
+}
+
+void deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes > max_bytes) {
+    ::operator delete(p);
+    return;
+  }
+  auto& list = local().cls[class_of(bytes)];
+  if (list.size() >= max_cached) {
+    ::operator delete(p);
+    return;
+  }
+  try {
+    list.push_back(p);
+  } catch (...) {
+    // Growing the free list itself failed (OOM): drop the block to the heap
+    // rather than violating noexcept.
+    ::operator delete(p);
+  }
+}
+
+std::size_t cached_blocks() noexcept {
+  std::size_t total = 0;
+  for (const auto& list : local().cls) total += list.size();
+  return total;
+}
+
+void trim() noexcept {
+  for (auto& list : local().cls) {
+    for (void* p : list) ::operator delete(p);
+    list.clear();
+  }
+}
+
+}  // namespace asyncrd::sim::pool_detail

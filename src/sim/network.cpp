@@ -29,45 +29,60 @@ void context::send(node_id to, message_ptr m) {
   net_->send_internal(self_, to, std::move(m));
 }
 
+void network::reserve_nodes(std::size_t n) {
+  slots_.reserve(n);
+  node_index_.reserve(n);
+}
+
 void network::add_node(node_id id, std::unique_ptr<process> p) {
   assert(p != nullptr);
-  const auto [it, inserted] = nodes_.emplace(id, node_slot{});
-  if (!inserted) throw std::invalid_argument("duplicate node id");
-  it->second.proc = std::move(p);
+  if (index_of(id) != npos) throw std::invalid_argument("duplicate node id");
+  const auto idx = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  slots_.back().proc = std::move(p);
+  slots_.back().id = id;
+  node_index_.insert(id, idx);
 }
 
 std::vector<node_id> network::node_ids() const {
   std::vector<node_id> out;
-  out.reserve(nodes_.size());
-  for (const auto& [id, slot] : nodes_) out.push_back(id);
+  out.reserve(slots_.size());
+  for (const node_slot& slot : slots_) out.push_back(slot.id);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 process* network::find(node_id id) {
-  const auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.proc.get();
+  const std::uint32_t i = index_of(id);
+  return i == npos ? nullptr : slots_[i].proc.get();
 }
 
 const process* network::find(node_id id) const {
-  const auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.proc.get();
+  const std::uint32_t i = index_of(id);
+  return i == npos ? nullptr : slots_[i].proc.get();
 }
 
 bool network::is_awake(node_id id) const {
-  const auto it = nodes_.find(id);
-  return it != nodes_.end() && it->second.awake;
+  const std::uint32_t i = index_of(id);
+  return i != npos && slots_[i].awake;
 }
 
 void network::wake(node_id id) {
-  if (!nodes_.contains(id)) throw std::invalid_argument("wake: unknown node");
+  const std::uint32_t idx = index_of(id);
+  if (idx == npos) throw std::invalid_argument("wake: unknown node");
+  // A wake requested at quiescence (Lemma 3.1's driver) — or from inside a
+  // running activation — is causally ordered after everything that already
+  // happened: anchor it to the activation in progress, or the last
+  // completed one.
   if (manual_mode_) {
-    if (!nodes_.at(id).awake) pending_wakes_.insert(id);
+    // The anchor must ride along with the pending wake: when take_step
+    // eventually fires it, the requesting activation is its genealogy
+    // parent, exactly as in scheduled mode.  (Dropping it here used to make
+    // every explored wake a false causal root.)
+    if (!slots_[idx].awake) pending_wakes_.emplace(id, current_anchor());
     return;
   }
-  // A wake requested at quiescence (Lemma 3.1's driver) is causally ordered
-  // after everything that already happened: anchor it to the activation in
-  // progress, or the last completed one.
-  push_event(now_ + 1, event_kind::wake, id, invalid_node, current_anchor());
+  push_event(now_ + 1, event_kind::wake, idx, current_anchor());
 }
 
 void network::set_manual_mode() {
@@ -78,76 +93,118 @@ void network::set_manual_mode() {
 
 std::vector<network::manual_step> network::manual_options() const {
   std::vector<manual_step> out;
-  for (const node_id v : pending_wakes_)
+  for (const auto& [v, anchor] : pending_wakes_)
     out.push_back({true, v, invalid_node});
-  for (const auto& [key, ch] : channels_)
-    if (!ch.queue.empty()) out.push_back({false, key.first, key.second});
-  return out;  // map/set iteration: already deterministically ordered
+  // Channels live in creation order; restore the (from, to) id order the
+  // exhaustive driver's choice indices are defined over.
+  std::vector<manual_step> delivers;
+  for (const channel& ch : channels_)
+    if (!ch.queue.empty()) delivers.push_back({false, ch.from, ch.to});
+  std::sort(delivers.begin(), delivers.end());
+  out.insert(out.end(), delivers.begin(), delivers.end());
+  return out;
 }
 
 void network::take_step(const manual_step& s) {
   if (!manual_mode_) throw std::logic_error("take_step outside manual mode");
   ++now_;
   if (s.is_wake) {
-    if (pending_wakes_.erase(s.a) == 0)
+    const auto it = pending_wakes_.find(s.a);
+    if (it == pending_wakes_.end())
       throw std::invalid_argument("take_step: wake not pending");
-    ensure_awake(s.a, trace_context::none, trace_context::none);
+    const std::uint64_t anchor = it->second;
+    pending_wakes_.erase(it);
+    ensure_awake(index_of(s.a), anchor, trace_context::none);
     return;
   }
-  const auto it = channels_.find({s.a, s.b});
-  if (it == channels_.end() || it->second.queue.empty())
+  const std::uint32_t ci = find_channel(index_of(s.a), index_of(s.b));
+  if (ci == npos || channels_[ci].queue.empty())
     throw std::invalid_argument("take_step: channel empty");
-  queued_msg q = std::move(it->second.queue.front());
-  it->second.queue.pop_front();
-  if (it->second.unscheduled > 0) --it->second.unscheduled;
-  ensure_awake(s.b, q.sent_in, q.released_in);
+  channel& ch = channels_[ci];
+  queued_msg q = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  if (ch.unscheduled > 0) --ch.unscheduled;
+  --in_flight_;
+  const std::uint32_t to_index = ch.to_index;
+  // Callbacks may create channels (vector may reallocate): ch is dead now.
+  ensure_awake(to_index, q.sent_in, q.released_in);
   begin_activation(q.sent_in, q.released_in, q.sent_at);
   observers_.on_deliver(now_, s.a, s.b, *q.m);
   context ctx(*this, s.b);
-  nodes_.at(s.b).proc->on_message(ctx, s.a, q.m);
+  slots_[to_index].proc->on_message(ctx, s.a, q.m);
   end_activation();
 }
 
 void network::block_sender(node_id id) {
+  const std::uint32_t idx = index_of(id);
+  if (idx == npos) throw std::invalid_argument("block_sender: unknown node");
   // Blocking must precede any traffic from the node: otherwise already
   // scheduled deliveries would pop the held channel heads out from under
   // the adversary.
-  for (const auto& [key, ch] : channels_) {
-    if (key.first == id && !ch.queue.empty())
+  for (const std::uint32_t ci : slots_[idx].out) {
+    if (!channels_[ci].queue.empty())
       throw std::logic_error("block_sender after traffic from node");
   }
-  blocked_senders_.insert(id);
+  slots_[idx].blocked = true;
 }
 
 void network::unblock_sender(node_id id) {
-  blocked_senders_.erase(id);
+  const std::uint32_t idx = index_of(id);
+  if (idx == npos) return;
+  slots_[idx].blocked = false;
   // The release is itself a causal fact: the adversary observed quiescence
   // (or the current activation) before letting these messages through.
   const std::uint64_t released_by = current_anchor();
-  for (auto& [key, ch] : channels_) {
-    if (key.first != id) continue;
+  // slot.out is sorted by destination id, so held channels release in the
+  // same (from, to) order the std::map implementation produced.
+  for (const std::uint32_t ci : slots_[idx].out) {
+    channel& ch = channels_[ci];
+    if (ch.unscheduled == 0) continue;
+    // Each held message gets its own delivery event, delayed according to
+    // *that* message — the scheduler used to be shown the channel head for
+    // every event, so message-dependent schedulers mis-delayed all but the
+    // first held message.
     for (std::size_t i = ch.queue.size() - ch.unscheduled; i < ch.queue.size();
-         ++i)
+         ++i) {
       ch.queue[i].released_in = released_by;
-    while (ch.unscheduled > 0) {
-      --ch.unscheduled;
-      push_event(
-          now_ + sched_->delay(key.first, key.second, *ch.queue.front().m),
-          event_kind::deliver, key.first, key.second);
+      push_event(now_ + scheduled_delay(ch.from, ch.to, *ch.queue[i].m),
+                 event_kind::deliver, ci);
     }
+    ch.unscheduled = 0;
   }
+}
+
+sim_time network::scheduled_delay(node_id from, node_id to, const message& m) {
+  const sim_time d = sched_->delay(from, to, m);
+  assert(d >= 1 && "scheduler::delay contract: delays are >= 1");
+  // Release builds: clamp instead of crashing so simulated time stays
+  // strictly monotone (a 0 delay would deliver at `now`, before the events
+  // already dispatched at `now`).
+  return d == 0 ? 1 : d;
 }
 
 void network::send_internal(node_id from, node_id to, message_ptr m) {
   assert(m != nullptr);
-  if (!nodes_.contains(to)) throw std::invalid_argument("send: unknown destination");
+  const std::uint32_t to_idx = index_of(to);
+  if (to_idx == npos) throw std::invalid_argument("send: unknown destination");
+  const std::uint32_t from_idx = index_of(from);
+  if (from_idx == npos) throw std::invalid_argument("send: unknown sender");
   stats_.record(*m);
-  observers_.on_send(now_, from, to, *m);
+  if (!observers_.empty()) observers_.on_send(now_, from, to, *m);
 
-  auto& ch = channels_[{from, to}];
+  std::uint32_t ci;
+  if (slots_[from_idx].last_to == to_idx) {
+    ci = slots_[from_idx].last_ci;
+  } else {
+    ci = channel_of(from_idx, to_idx);
+    slots_[from_idx].last_to = to_idx;
+    slots_[from_idx].last_ci = ci;
+  }
   queued_msg q{std::move(m), tctx_.active ? tctx_.event_id : trace_context::none,
                trace_context::none, now_};
-  if (manual_mode_ || blocked_senders_.contains(from)) {
+  ++in_flight_;
+  if (manual_mode_ || slots_[from_idx].blocked) {
+    channel& ch = channels_[ci];
     ch.queue.push_back(std::move(q));
     ++ch.unscheduled;
     return;
@@ -155,9 +212,30 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
   // Driver sends (probe, dynamic additions) happen between events; they are
   // causally ordered after the last completed activation.
   if (!tctx_.active) q.released_in = last_event_;
-  const sim_time d = sched_->delay(from, to, *q.m);
-  ch.queue.push_back(std::move(q));
-  push_event(now_ + (d == 0 ? 1 : d), event_kind::deliver, from, to);
+  const sim_time d = scheduled_delay(from, to, *q.m);
+  channels_[ci].queue.push_back(std::move(q));
+  push_event(now_ + d, event_kind::deliver, ci);
+}
+
+std::uint32_t network::channel_of(std::uint32_t from, std::uint32_t to) {
+  const std::uint64_t key = pack(from, to);
+  const std::uint32_t found = channel_index_.find(key);
+  if (found != npos) return found;
+  const auto ci = static_cast<std::uint32_t>(channels_.size());
+  channels_.emplace_back();
+  channels_.back().from = slots_[from].id;
+  channels_.back().to = slots_[to].id;
+  channels_.back().to_index = to;
+  channel_index_.insert(key, ci);
+  // Insertion-sort into the sender's out-list by destination id: the list
+  // is consulted in id order by block/unblock (determinism) and stays tiny
+  // (out-degree of the knowledge graph).
+  auto& out = slots_[from].out;
+  const node_id to_id = slots_[to].id;
+  auto it = out.begin();
+  while (it != out.end() && channels_[*it].to < to_id) ++it;
+  out.insert(it, ci);
+  return ci;
 }
 
 void network::begin_activation(std::uint64_t cause, std::uint64_t release,
@@ -174,15 +252,18 @@ void network::end_activation() {
   tctx_ = trace_context{};
 }
 
-void network::ensure_awake(node_id id, std::uint64_t cause,
+void network::ensure_awake(std::uint32_t idx, std::uint64_t cause,
                            std::uint64_t release) {
-  auto& slot = nodes_.at(id);
+  node_slot& slot = slots_[idx];
   if (slot.awake) return;
   slot.awake = true;
+  process* proc = slot.proc.get();
+  const node_id id = slot.id;
+  // Callbacks may add nodes (vector may reallocate): slot is dead now.
   begin_activation(cause, release, now_);
   observers_.on_wake(now_, id);
   context ctx(*this, id);
-  slot.proc->on_wake(ctx);
+  proc->on_wake(ctx);
   end_activation();
 }
 
@@ -190,38 +271,43 @@ void network::dispatch(const event& ev) {
   now_ = ev.at;
   switch (ev.kind) {
     case event_kind::wake: {
-      ensure_awake(ev.a, ev.cause, trace_context::none);
+      ensure_awake(ev.target, ev.cause, trace_context::none);
       break;
     }
     case event_kind::deliver: {
-      auto& ch = channels_.at({ev.a, ev.b});
+      channel& ch = channels_[ev.target];
       assert(!ch.queue.empty());
       // FIFO: a delivery event always releases the channel head, regardless
       // of which send created the event.
       queued_msg q = std::move(ch.queue.front());
       ch.queue.pop_front();
+      --in_flight_;
+      const node_id from = ch.from;
+      const node_id to = ch.to;
+      const std::uint32_t to_index = ch.to_index;
+      // Callbacks may create channels (vector may reallocate): ch is dead.
       // A message-induced wake shares the arriving message's causes.
-      ensure_awake(ev.b, q.sent_in, q.released_in);
+      ensure_awake(to_index, q.sent_in, q.released_in);
       begin_activation(q.sent_in, q.released_in, q.sent_at);
-      observers_.on_deliver(now_, ev.a, ev.b, *q.m);
-      context ctx(*this, ev.b);
-      nodes_.at(ev.b).proc->on_message(ctx, ev.a, q.m);
+      if (!observers_.empty()) observers_.on_deliver(now_, from, to, *q.m);
+      context ctx(*this, to);
+      slots_[to_index].proc->on_message(ctx, from, q.m);
       end_activation();
       break;
     }
   }
 }
 
-void network::push_event(sim_time at, event_kind kind, node_id a, node_id b,
+void network::push_event(sim_time at, event_kind kind, std::uint32_t target,
                          std::uint64_t cause) {
-  events_.push(event{at, seq_++, kind, a, b, cause});
+  events_.push(event{at, seq_++, cause, target, kind});
 }
 
 void network::finalize_id_bits() {
   if (id_bits_fixed_) return;
   id_bits_fixed_ = true;
-  if (stats_.id_bits() <= 1 && nodes_.size() > 2)
-    stats_.set_id_bits(ceil_log2(nodes_.size()));
+  if (stats_.id_bits() <= 1 && slots_.size() > 2)
+    stats_.set_id_bits(ceil_log2(slots_.size()));
 }
 
 run_result network::run_to_quiescence(std::uint64_t max_events) {
@@ -233,9 +319,7 @@ run_result network::run_to_quiescence(std::uint64_t max_events) {
       r.completed = false;
       break;
     }
-    const event ev = events_.top();
-    events_.pop();
-    dispatch(ev);
+    dispatch(events_.pop());
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   ++timing_.loops;
@@ -268,12 +352,6 @@ run_result network::run(std::uint64_t max_events) {
     if (!sched_->on_quiescence(*this)) break;
   }
   return total;
-}
-
-bool network::channels_empty() const {
-  for (const auto& [key, ch] : channels_)
-    if (!ch.queue.empty()) return false;
-  return true;
 }
 
 }  // namespace asyncrd::sim

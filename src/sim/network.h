@@ -13,17 +13,28 @@
 // The knowledge-graph constraint (u may only message nodes whose id it
 // knows) is the *algorithms'* obligation; the network transports any
 // (from, to) pair and the checker audits knowledge-graph discipline.
+//
+// Hot-path layout (the dense core): node ids are compacted to dense slot
+// indices on add_node, so the node table is a std::vector and the per-event
+// lookups are array indexing; channels live in a std::vector addressed
+// through a flat open-addressed table keyed by the packed (from, to) index
+// pair, with each sender keeping its outgoing channel list sorted by
+// destination id (adversarial release order stays deterministic); events
+// flow through a calendar queue (sim/scheduler.h) instead of a binary heap.
+// All externally observable orders — event (at, seq) order, channel
+// iteration order, node id order — are identical to the original
+// std::map-based implementation; the determinism suite and the golden trace
+// pin that equivalence.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <queue>
-#include <set>
 #include <tuple>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/ids.h"
 #include "sim/message.h"
 #include "sim/scheduler.h"
@@ -147,9 +158,14 @@ class network {
   /// node additions, §6); a node added mid-run still needs wake().
   void add_node(node_id id, std::unique_ptr<process> p);
 
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Pre-sizes the dense node table (and its id -> index map) for `n`
+  /// nodes.  discovery_run calls this with the graph size before the
+  /// add_node loop; purely an optimization.
+  void reserve_nodes(std::size_t n);
+
+  std::size_t node_count() const noexcept { return slots_.size(); }
   std::vector<node_id> node_ids() const;
-  bool has_node(node_id id) const { return nodes_.contains(id); }
+  bool has_node(node_id id) const { return index_of(id) != npos; }
 
   /// Access to the process object (checkers downcast to the concrete type).
   process* find(node_id id);
@@ -175,7 +191,10 @@ class network {
   /// Releases everything `id` has queued and lets future sends through.
   void unblock_sender(node_id id);
 
-  bool is_blocked(node_id id) const { return blocked_senders_.contains(id); }
+  bool is_blocked(node_id id) const {
+    const std::uint32_t i = index_of(id);
+    return i != npos && slots_[i].blocked;
+  }
 
   // --- execution ---------------------------------------------------------
 
@@ -190,7 +209,7 @@ class network {
   // --- manual stepping (exhaustive interleaving exploration) --------------
   //
   // In manual mode nothing is scheduled: sends park in their FIFO channels
-  // and wakes park in a pending set; an external driver enumerates the
+  // and wakes park in a pending map; an external driver enumerates the
   // currently ready steps and picks which fires next.  This exposes every
   // delivery/wake interleaving the asynchronous model admits (FIFO per
   // channel is still structural: only channel heads are offered).
@@ -260,12 +279,14 @@ class network {
   std::uint64_t events_assigned() const noexcept { return next_event_id_; }
 
   /// True iff no undelivered messages exist anywhere (including held ones).
-  bool channels_empty() const;
+  bool channels_empty() const noexcept { return in_flight_ == 0; }
 
   static constexpr std::uint64_t default_event_cap = 500'000'000;
 
  private:
   friend class context;
+
+  static constexpr std::uint32_t npos = flat_u64_map::npos;
 
   /// A message in flight, with the causal record of how it got there.
   struct queued_msg {
@@ -282,6 +303,9 @@ class network {
     std::deque<queued_msg> queue;
     /// Tail messages with no delivery event yet (sender was blocked).
     std::size_t unscheduled = 0;
+    node_id from = invalid_node;
+    node_id to = invalid_node;
+    std::uint32_t to_index = npos;
   };
 
   enum class event_kind : std::uint8_t { wake, deliver };
@@ -289,11 +313,11 @@ class network {
   struct event {
     sim_time at;
     std::uint64_t seq;
-    event_kind kind;
-    node_id a;  // wake target / channel source
-    node_id b;  // channel destination (deliver only)
     /// Wake events: the activation that requested the wake (none = root).
-    std::uint64_t cause = trace_context::none;
+    std::uint64_t cause;
+    /// Wake: target slot index.  Deliver: channel index.
+    std::uint32_t target;
+    event_kind kind;
   };
 
   struct event_after {
@@ -305,13 +329,53 @@ class network {
 
   struct node_slot {
     std::unique_ptr<process> proc;
+    node_id id = invalid_node;
     bool awake = false;
+    bool blocked = false;
+    /// One-entry channel cache: slot index of the last send's destination
+    /// and the channel that reached it.  Query/reply ping-pong and
+    /// next-pointer routing chains resend to the same peer repeatedly, so
+    /// this short-circuits the channel hash probe on the common send.
+    std::uint32_t last_to = ~std::uint32_t{0};
+    std::uint32_t last_ci = 0;
+    /// Outgoing channel indices, kept sorted by destination *id* so the
+    /// adversarial release loop walks channels in the same (from, to) order
+    /// the std::map implementation did.
+    std::vector<std::uint32_t> out;
   };
 
+  /// Slot index for an id; npos if unregistered.  Fast path: the dense case
+  /// (ids are exactly 0..n-1, as discovery_run builds them) needs no hash
+  /// probe at all.
+  std::uint32_t index_of(node_id id) const noexcept {
+    if (id < slots_.size() && slots_[id].id == id) return id;
+    return node_index_.find(id);
+  }
+
+  /// Channel index for (from, to) slot indices, creating the channel (and
+  /// registering it in the sender's sorted out-list) on first use.
+  std::uint32_t channel_of(std::uint32_t from, std::uint32_t to);
+
+  /// Channel index, or npos if the channel was never used.
+  std::uint32_t find_channel(std::uint32_t from, std::uint32_t to) const noexcept {
+    if (from == npos || to == npos) return npos;
+    return channel_index_.find(pack(from, to));
+  }
+
+  static std::uint64_t pack(std::uint32_t from, std::uint32_t to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  /// The one place scheduler::delay is consulted: enforces the ">= 1"
+  /// contract (asserted in debug builds, clamped in release so simulated
+  /// time stays strictly monotone even under a misbehaving scheduler).
+  sim_time scheduled_delay(node_id from, node_id to, const message& m);
+
   void send_internal(node_id from, node_id to, message_ptr m);
-  void ensure_awake(node_id id, std::uint64_t cause, std::uint64_t release);
+  void ensure_awake(std::uint32_t idx, std::uint64_t cause,
+                    std::uint64_t release);
   void dispatch(const event& ev);
-  void push_event(sim_time at, event_kind kind, node_id a, node_id b,
+  void push_event(sim_time at, event_kind kind, std::uint32_t target,
                   std::uint64_t cause = trace_context::none);
   void finalize_id_bits();
 
@@ -326,10 +390,12 @@ class network {
   }
 
   scheduler* sched_;
-  std::map<node_id, node_slot> nodes_;
-  std::map<std::pair<node_id, node_id>, channel> channels_;
-  std::set<node_id> blocked_senders_;
-  std::priority_queue<event, std::vector<event>, event_after> events_;
+  std::vector<node_slot> slots_;
+  flat_u64_map node_index_;     ///< id -> slot index
+  std::vector<channel> channels_;
+  flat_u64_map channel_index_;  ///< pack(from, to) indices -> channel index
+  calendar_queue<event, event_after> events_;
+  std::uint64_t in_flight_ = 0;  ///< undelivered messages across all channels
   stats stats_;
   multi_observer observers_;
   run_timing timing_;
@@ -340,7 +406,11 @@ class network {
   std::uint64_t last_event_ = trace_context::none;
   bool id_bits_fixed_ = false;
   bool manual_mode_ = false;
-  std::set<node_id> pending_wakes_;
+  /// Manual mode: woken-but-not-yet-fired nodes, each with the causal
+  /// anchor of the wake request (the activation — or last completed
+  /// activation — that asked for it).  Keyed by id: deterministic option
+  /// order and the anchor survives until take_step fires the wake.
+  std::map<node_id, std::uint64_t> pending_wakes_;
 };
 
 }  // namespace asyncrd::sim

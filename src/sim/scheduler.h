@@ -9,7 +9,10 @@
 // quiescence points (Lemma 3.1's sequential wake-up).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <queue>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/rng.h"
@@ -36,6 +39,105 @@ struct run_timing {
   }
   /// Events dispatched per wall-clock second (0 if nothing was timed).
   double events_per_sec() const noexcept;
+};
+
+// --- calendar event queue -------------------------------------------------
+//
+// The event queue is the single hottest structure in the simulator: every
+// send and every wake passes through it.  All five schedulers in the tree
+// (unit, uniform-random, the three adversaries) draw *small* delays almost
+// always — 1 for unit/adversarial schedules, <= 64 for the default random
+// sweep — so a binary heap's O(log n) per operation buys generality nothing
+// here.  calendar_queue dispenses events in O(1) amortized: a ring of
+// per-tick buckets covers the near future [base, base + window), and the
+// rare far-future event (the heavy-tail scheduler's Pareto stragglers) falls
+// back to a binary heap that migrates into the ring as time advances.
+//
+// Ordering contract (what the determinism suite pins): pop() yields events
+// in exactly the (at, seq) lexicographic order the old heap produced.
+// Within a bucket all events share one timestamp, pushes append in seq
+// order (seq is globally monotone), and heap->ring migration happens only
+// when the window slides — before any new push can target the freed range —
+// so appended order *is* seq order.
+//
+// Event must expose `.at` (sim_time) and `.seq` (uint64_t); After is the
+// strict-weak ordering of a max-heap on (at, seq) reversed, i.e. the usual
+// priority_queue comparator for a min-queue.
+template <typename Event, typename After>
+class calendar_queue {
+ public:
+  /// `window_log2`: ring covers 2^window_log2 ticks of near future.
+  explicit calendar_queue(unsigned window_log2 = 12)
+      : buckets_(std::size_t{1} << window_log2),
+        mask_((std::size_t{1} << window_log2) - 1) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Events currently parked in the far-future heap (telemetry/tests).
+  std::size_t overflowed() const noexcept { return overflow_.size(); }
+
+  void push(Event ev) {
+    assert(ev.at >= base_ && "event scheduled in the past");
+    ++size_;
+    if (ev.at - base_ <= mask_) {
+      bucket& b = buckets_[ev.at & mask_];
+      b.events.push_back(ev);
+      ++in_ring_;
+    } else {
+      overflow_.push(ev);
+    }
+  }
+
+  /// Removes and returns the (at, seq)-least event.  Precondition: !empty().
+  Event pop() {
+    assert(size_ > 0);
+    if (in_ring_ == 0) {
+      // Ring drained: jump straight to the earliest far-future event.
+      base_ = overflow_.top().at;
+      migrate();
+    }
+    bucket* b = &buckets_[base_ & mask_];
+    while (b->head >= b->events.size()) {
+      b->events.clear();
+      b->head = 0;
+      ++base_;
+      migrate();  // window slid: the freed tick may pull heap events in
+      b = &buckets_[base_ & mask_];
+    }
+    const Event ev = b->events[b->head++];
+    if (b->head == b->events.size()) {
+      b->events.clear();
+      b->head = 0;
+    }
+    --in_ring_;
+    --size_;
+    return ev;
+  }
+
+ private:
+  struct bucket {
+    std::vector<Event> events;
+    std::size_t head = 0;  ///< first not-yet-popped element
+  };
+
+  /// Moves every heap event that now fits the window into its bucket.
+  /// Heap pops come out in (at, seq) order, so appends preserve seq order.
+  void migrate() {
+    while (!overflow_.empty() && overflow_.top().at - base_ <= mask_) {
+      const Event& e = overflow_.top();
+      buckets_[e.at & mask_].events.push_back(e);
+      ++in_ring_;
+      overflow_.pop();
+    }
+  }
+
+  std::vector<bucket> buckets_;
+  std::size_t mask_;
+  sim_time base_ = 0;         ///< earliest time the ring can hold
+  std::size_t in_ring_ = 0;   ///< events resident in buckets
+  std::size_t size_ = 0;      ///< total events (ring + heap)
+  std::priority_queue<Event, std::vector<Event>, After> overflow_;
 };
 
 /// Chooses per-message delivery delays and reacts to quiescence.

@@ -3,12 +3,18 @@
 namespace asyncrd::sim {
 
 void stats::record(const message& m) {
-  auto it = by_type_.find(m.type_name());
-  if (it == by_type_.end())
-    it = by_type_.emplace(std::string(m.type_name()), type_stats{}).first;
+  const std::uint8_t tag = m.dispatch_tag();
+  type_stats* ts = by_tag_[tag];
+  if (ts == nullptr || tag == 0) {
+    auto it = by_type_.find(m.type_name());
+    if (it == by_type_.end())
+      it = by_type_.emplace(std::string(m.type_name()), type_stats{}).first;
+    ts = &it->second;
+    if (tag != 0) by_tag_[tag] = ts;
+  }
   const std::size_t b = m.bits(id_bits_);
-  it->second.count += 1;
-  it->second.bits += b;
+  ts->count += 1;
+  ts->bits += b;
   total_count_ += 1;
   total_bits_ += b;
 }
@@ -32,6 +38,7 @@ std::uint64_t stats::messages_of_any(
 
 void stats::reset() {
   by_type_.clear();
+  by_tag_.fill(nullptr);
   total_count_ = 0;
   total_bits_ = 0;
 }

@@ -5,6 +5,7 @@
 // bit count, and the checker/benches read those bounds off this object.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -49,6 +50,12 @@ class stats {
 
  private:
   std::map<std::string, type_stats, std::less<>> by_type_;
+  /// Tagged messages (message::dispatch_tag != 0) resolve their by_type_
+  /// entry through this cache instead of a string-keyed tree walk per send.
+  /// std::map nodes are pointer-stable, so the cached slots survive inserts.
+  /// Requires tag -> type_name to be one-to-one, which the core vocabulary
+  /// guarantees by construction.
+  std::array<type_stats*, 256> by_tag_{};
   std::uint64_t total_count_ = 0;
   std::uint64_t total_bits_ = 0;
   std::size_t id_bits_ = 1;

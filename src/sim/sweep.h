@@ -1,0 +1,61 @@
+// Parallel seed/topology sweeps: fan independent simulations across
+// std::thread workers.
+//
+// The simulator itself is single-threaded by design (determinism comes from
+// a total order on events), but property sweeps — N seeds x M variants, each
+// a fully independent execution — are embarrassingly parallel: every job
+// builds its own scheduler, discovery_run, and network, so no simulator
+// state is shared.  parallel_sweep() is the one blessed way to exploit that:
+// it owns the thread pool, hands each job a stable worker index (for
+// per-worker scratch state), and guarantees the job function is invoked
+// exactly once per job index, so callers can write results into a pre-sized
+// vector slot per job and read them back in deterministic order afterwards.
+//
+// Thread-safety contract for the job function:
+//   * it may freely build and run networks, runs, schedulers (one per job);
+//   * shared inputs (a common graph::digraph, config templates) must be
+//     treated as read-only;
+//   * writes must go to the job's own slot (distinct indices never race);
+//   * sim::make_message's pooled allocator is thread-local and needs no
+//     coordination (blocks freed on a different thread than they were
+//     allocated on simply migrate to the freeing thread's pool).
+//
+// Determinism: results are keyed by job index, not completion order, so a
+// sweep's merged output is byte-identical whatever the interleaving of
+// workers — the same property the event queue gives a single run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace asyncrd::sim {
+
+/// What a sweep did, for telemetry/bench reporting.
+struct sweep_result {
+  std::size_t jobs = 0;     ///< job function invocations
+  std::size_t workers = 0;  ///< threads actually used
+  double wall_ms = 0.0;     ///< wall time of the whole fan-out
+  /// Aggregate events/sec across the sweep (sum of per-job event counts
+  /// divided by wall time) when the caller reported events; 0 otherwise.
+  double events_per_sec = 0.0;
+};
+
+/// Runs `fn(job, worker)` for every job in [0, job_count), fanned across up
+/// to `max_workers` threads (0 = std::thread::hardware_concurrency, min 1).
+/// Blocks until every job finished.  Jobs are claimed from a shared atomic
+/// counter, so long and short jobs balance automatically.
+///
+/// Exceptions: a throwing job terminates the sweep with the first exception
+/// rethrown on the calling thread after all workers joined (remaining jobs
+/// may or may not have run) — matching the fail-fast behaviour of a serial
+/// loop closely enough for tests and benches.
+sweep_result parallel_sweep(
+    std::size_t job_count,
+    const std::function<void(std::size_t job, std::size_t worker)>& fn,
+    std::size_t max_workers = 0);
+
+// Merging a finished sweep into the metrics registry lives on the telemetry
+// side (telemetry::record_sweep in telemetry/metrics.h): telemetry already
+// depends on sim, never the reverse.
+
+}  // namespace asyncrd::sim

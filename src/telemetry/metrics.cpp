@@ -36,6 +36,15 @@ void registry::reset() {
   for (auto& [name, h] : histograms_) h.reset();
 }
 
+void record_sweep(registry& reg, std::string_view prefix,
+                  const sim::sweep_result& r) {
+  const std::string p(prefix);
+  reg.get_counter(p + ".jobs").inc(r.jobs);
+  reg.get_gauge(p + ".workers").set(static_cast<double>(r.workers));
+  reg.get_gauge(p + ".wall_ms").set(r.wall_ms);
+  reg.get_gauge(p + ".events_per_sec").set(r.events_per_sec);
+}
+
 void registry::write_json(json_writer& w) const {
   w.begin_object();
   w.key("counters").begin_object();

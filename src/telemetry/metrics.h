@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "sim/sweep.h"
 #include "telemetry/histogram.h"
 
 namespace asyncrd::telemetry {
@@ -74,5 +75,13 @@ class registry {
   std::map<std::string, gauge, std::less<>> gauges_;
   std::map<std::string, histogram, std::less<>> histograms_;
 };
+
+/// Records a finished parallel sweep under `prefix`: "<prefix>.jobs"
+/// (counter, accumulates across sweeps), "<prefix>.workers",
+/// "<prefix>.wall_ms", "<prefix>.events_per_sec" (gauges, last sweep wins).
+/// The registry is not thread-safe; call after the sweep returned, from one
+/// thread.
+void record_sweep(registry& reg, std::string_view prefix,
+                  const sim::sweep_result& r);
 
 }  // namespace asyncrd::telemetry

@@ -248,6 +248,122 @@ TEST(Network, StatsCountAtSendTime) {
   EXPECT_EQ(net.statistics().messages_of("tag"), 4u);
 }
 
+// Regression (unblock_sender): every held message must be shown to the
+// scheduler individually.  The bug passed the channel *head* to
+// scheduler::delay for each held message, so message-dependent schedulers
+// mis-delayed all but the first.
+TEST(Network, UnblockDelaysEachHeldMessageIndividually) {
+  class value_delay final : public sim::scheduler {
+   public:
+    sim::sim_time delay(node_id, node_id, const sim::message& m) override {
+      const int v = static_cast<const tag_msg&>(m).value;
+      seen.push_back(v);
+      return static_cast<sim::sim_time>(v) + 1;
+    }
+    std::vector<int> seen;
+  };
+  value_delay sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 3));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.block_sender(1);
+  net.wake(1);
+  net.run_to_quiescence();
+  EXPECT_TRUE(sched.seen.empty());  // held sends consult no delays
+  net.unblock_sender(1);
+  // The release must have consulted the scheduler once per held message,
+  // with *that* message — not the channel head three times.
+  ASSERT_EQ(sched.seen, (std::vector<int>{0, 1, 2}));
+  net.run_to_quiescence();
+  ASSERT_EQ(rec_ptr->received.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(rec_ptr->received[static_cast<size_t>(i)].second, i);
+}
+
+// Regression (delay clamping): scheduler::delay's ">= 1" contract is
+// enforced in exactly one place (network::scheduled_delay).  Debug builds
+// assert; release builds clamp to 1 so simulated time stays strictly
+// monotone even under a misbehaving scheduler.
+TEST(Network, ZeroDelayIsClampedAtTheSingleEnforcementPoint) {
+  class zero_delay final : public sim::scheduler {
+   public:
+    sim::sim_time delay(node_id, node_id, const sim::message&) override {
+      return 0;
+    }
+  };
+  zero_delay sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 2));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  net.wake(1);
+  EXPECT_DEBUG_DEATH(net.run(), "delays are >= 1");
+#ifdef NDEBUG
+  // Release: the clamp delivered everything strictly after the send tick.
+  ASSERT_EQ(rec_ptr->received.size(), 2u);
+  EXPECT_GE(net.now(), 2u);  // wake at 1, clamped deliveries at >= 2
+#else
+  (void)rec_ptr;
+#endif
+}
+
+// Regression (manual-mode wake causality): a wake requested from inside an
+// activation must carry that activation as its causal anchor through the
+// pending-wake map.  The bug dropped current_anchor() on the floor, so the
+// tracer reported every manually-fired wake as a causal root.
+TEST(Network, ManualWakeCarriesRequestingActivationAsCause) {
+  class wake_requester final : public sim::process {
+   public:
+    void on_wake(sim::context&) override { net->wake(target); }
+    void on_message(sim::context&, node_id,
+                    const sim::message_ptr&) override {}
+    sim::network* net = nullptr;
+    node_id target = invalid_node;
+  };
+  class anchor_probe final : public sim::observer {
+   public:
+    void on_wake(sim::sim_time, node_id id) override {
+      const auto& ctx = net->trace_ctx();
+      ids.push_back(ctx.event_id);
+      causes.push_back(ctx.cause);
+      woken.push_back(id);
+    }
+    const sim::network* net = nullptr;
+    std::vector<std::uint64_t> ids, causes;
+    std::vector<node_id> woken;
+  };
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.set_manual_mode();
+  auto req = std::make_unique<wake_requester>();
+  req->net = &net;
+  req->target = 2;
+  net.add_node(1, std::move(req));
+  net.add_node(2, std::make_unique<recorder_process>());
+  anchor_probe probe;
+  probe.net = &net;
+  net.add_observer(&probe);
+
+  net.wake(1);  // requested outside any activation: a genuine root
+  auto opts = net.manual_options();
+  ASSERT_EQ(opts.size(), 1u);
+  net.take_step(opts[0]);  // node 1 wakes and requests wake(2)
+
+  opts = net.manual_options();
+  ASSERT_EQ(opts.size(), 1u);
+  EXPECT_TRUE(opts[0].is_wake);
+  EXPECT_EQ(opts[0].a, 2u);
+  net.take_step(opts[0]);
+
+  ASSERT_EQ(probe.woken, (std::vector<node_id>{1, 2}));
+  EXPECT_EQ(probe.causes[0], sim::trace_context::none);  // true root
+  // Node 2's wake descends from node 1's activation, not from nowhere.
+  EXPECT_EQ(probe.causes[1], probe.ids[0]);
+}
+
 TEST(Network, TimeAdvancesMonotonically) {
   sim::random_delay_scheduler sched(5, 1, 9);
   sim::network net(sched);

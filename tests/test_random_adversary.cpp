@@ -4,10 +4,14 @@
 // widest net the test suite casts over asynchronous interleavings.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/adversary.h"
 #include "core/checker.h"
 #include "core/runner.h"
 #include "graph/topology.h"
+#include "sim/sweep.h"
 
 namespace asyncrd {
 namespace {
@@ -62,6 +66,49 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2),
                        ::testing::Values(1, 2, 3, 4, 5, 6)),
     freeze_param_name);
+
+// The wide net: 3 variants x 16 seeds of freeze schedules, fanned across
+// sim::parallel_sweep workers.  Each job is a fully independent simulation
+// writing into its own slot; failures are reported afterwards in job order,
+// so the output (and any failure message) is identical on 1 core or 16.
+TEST(FreezeSweepParallel, WideSeedGridAllVariantsAllCores) {
+  constexpr std::uint64_t kSeeds = 16;
+  constexpr int kVariants = 3;
+  struct outcome {
+    bool completed = false;
+    bool ok = false;
+    std::string report;
+  };
+  std::vector<outcome> results(kSeeds * kVariants);
+
+  const auto sw = sim::parallel_sweep(
+      results.size(), [&](std::size_t job, std::size_t /*worker*/) {
+        const auto algo = static_cast<variant>(job % kVariants);
+        const std::uint64_t seed = 11 + job / kVariants;
+        const auto g = graph::random_weakly_connected(40, 80, seed * 13 + 5);
+        core::random_staged_scheduler sched(seed, g.nodes(), 0.35);
+        core::config cfg;
+        cfg.algo = algo;
+        core::discovery_run run(g, cfg, sched);
+        sched.arm(run.net());
+        run.wake_all();
+        outcome& o = results[job];
+        o.completed = run.run().completed;
+        if (!o.completed) return;
+        const auto rep = core::check_final_state(run, g);
+        o.ok = rep.ok();
+        if (!o.ok) o.report = rep.to_string();
+      });
+  EXPECT_EQ(sw.jobs, results.size());
+  EXPECT_GE(sw.workers, 1u);
+
+  // Deterministic merge: assert in job-index order, never completion order.
+  for (std::size_t job = 0; job < results.size(); ++job) {
+    const outcome& o = results[job];
+    EXPECT_TRUE(o.completed) << "job " << job << ": event cap exceeded";
+    EXPECT_TRUE(o.ok) << "job " << job << ":\n" << o.report;
+  }
+}
 
 TEST(FreezeAdversary, HeavyFreezeEverythingBlocked) {
   // Extreme case: every node frozen; progress happens only through the
