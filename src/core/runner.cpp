@@ -35,6 +35,14 @@ const node& discovery_run::at(node_id id) const {
   return *p;
 }
 
+void discovery_run::enable_chaos(const sim::fault_plan& plan,
+                                 sim::reliable_link_config link_cfg) {
+  if (rl_ != nullptr) throw std::logic_error("enable_chaos called twice");
+  net_.set_fault_plan(plan);
+  rl_ = std::make_unique<sim::reliable_link_layer>(net_, link_cfg);
+  net_.set_link_adapter(rl_.get());
+}
+
 void discovery_run::wake_all() {
   for (const node_id v : net_.node_ids()) net_.wake(v);
 }

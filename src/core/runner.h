@@ -9,6 +9,7 @@
 #include "core/node.h"
 #include "graph/digraph.h"
 #include "sim/network.h"
+#include "sim/reliable_link.h"
 #include "sim/scheduler.h"
 
 namespace asyncrd::core {
@@ -38,6 +39,19 @@ class discovery_run {
   node& at(node_id id);
   const node& at(node_id id) const;
 
+  /// Arms the chaos transport: installs `plan` on the network and layers
+  /// the reliable-delivery adapter above it, so the algorithms run
+  /// unmodified on the lossy wire.  Must be called before any traffic;
+  /// mutually exclusive with manual mode.
+  void enable_chaos(const sim::fault_plan& plan,
+                    sim::reliable_link_config link_cfg = {});
+
+  /// The reliable-delivery adapter, or nullptr when chaos is off
+  /// (telemetry reads its retransmit/ack counters).
+  const sim::reliable_link_layer* reliable_links() const noexcept {
+    return rl_.get();
+  }
+
   /// Schedules wake events for every node.
   void wake_all();
 
@@ -63,6 +77,9 @@ class discovery_run {
  private:
   config cfg_;  // nodes keep a pointer into this; must outlive them
   sim::network net_;
+  /// Chaos mode only; declared after net_ so it is destroyed first (the
+  /// network holds a non-owning adapter pointer into it).
+  std::unique_ptr<sim::reliable_link_layer> rl_;
 };
 
 /// Convenience summary used by benches: run a fresh execution end to end.

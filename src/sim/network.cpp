@@ -9,6 +9,26 @@
 
 namespace asyncrd::sim {
 
+namespace {
+
+/// Stateless 64-bit finalizer (murmur3) used to derive per-channel fault
+/// streams and outage phases from (plan seed, from, to).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Domain separators: the fault stream and the outage phase of a channel
+/// must be independent even though both derive from (seed, from, to).
+constexpr std::uint64_t fault_stream_salt = 0xC8A5'5151'7ED5'58CCull;
+constexpr std::uint64_t outage_phase_salt = 0x09E3'779B'97F4'A7C1ull;
+
+}  // namespace
+
 void multi_observer::add(observer* obs) {
   assert(obs != nullptr);
   assert(std::find(observers_.begin(), observers_.end(), obs) ==
@@ -88,7 +108,37 @@ void network::wake(node_id id) {
 void network::set_manual_mode() {
   if (!events_.empty() || !channels_empty())
     throw std::logic_error("set_manual_mode after traffic");
+  if (faults_on_ || adapter_ != nullptr)
+    throw std::logic_error("set_manual_mode with chaos transport armed");
   manual_mode_ = true;
+}
+
+void network::set_fault_plan(const fault_plan& plan) {
+  if (manual_mode_)
+    throw std::logic_error("set_fault_plan in manual mode");
+  if (!events_.empty() || !channels_empty())
+    throw std::logic_error("set_fault_plan after traffic");
+  plan_ = plan;
+  faults_on_ = plan.enabled();
+  for (channel& ch : channels_)
+    ch.fault_rng =
+        rng(mix64(plan_.seed ^ fault_stream_salt ^ pack(ch.from, ch.to)));
+}
+
+void network::set_link_adapter(link_adapter* a) {
+  if (manual_mode_)
+    throw std::logic_error("set_link_adapter in manual mode");
+  if (!events_.empty() || !channels_empty())
+    throw std::logic_error("set_link_adapter after traffic");
+  adapter_ = a;
+}
+
+bool network::outage_active(const channel& ch) const noexcept {
+  if (plan_.outage_period == 0 || plan_.outage_duration == 0) return false;
+  const std::uint64_t phase =
+      mix64(plan_.seed ^ outage_phase_salt ^ pack(ch.from, ch.to)) %
+      plan_.outage_period;
+  return (now_ + phase) % plan_.outage_period < plan_.outage_duration;
 }
 
 std::vector<network::manual_step> network::manual_options() const {
@@ -158,19 +208,27 @@ void network::unblock_sender(node_id id) {
   // slot.out is sorted by destination id, so held channels release in the
   // same (from, to) order the std::map implementation produced.
   for (const std::uint32_t ci : slots_[idx].out) {
-    channel& ch = channels_[ci];
-    if (ch.unscheduled == 0) continue;
-    // Each held message gets its own delivery event, delayed according to
-    // *that* message — the scheduler used to be shown the channel head for
-    // every event, so message-dependent schedulers mis-delayed all but the
-    // first held message.
-    for (std::size_t i = ch.queue.size() - ch.unscheduled; i < ch.queue.size();
-         ++i) {
-      ch.queue[i].released_in = released_by;
-      push_event(now_ + scheduled_delay(ch.from, ch.to, *ch.queue[i].m),
-                 event_kind::deliver, ci);
+    if (channels_[ci].unscheduled == 0) continue;
+    // Pull the held tail out of the queue, then put each message on the
+    // wire through the same choke point scheduled sends use — so release is
+    // the second fault-injection point, and each held message gets its own
+    // delivery event, delayed according to *that* message (a
+    // message-dependent scheduler must never be shown the channel head for
+    // every event).
+    std::vector<queued_msg> held;
+    {
+      channel& ch = channels_[ci];
+      held.reserve(ch.unscheduled);
+      for (std::size_t i = ch.queue.size() - ch.unscheduled;
+           i < ch.queue.size(); ++i)
+        held.push_back(std::move(ch.queue[i]));
+      ch.queue.resize(ch.queue.size() - held.size());
+      ch.unscheduled = 0;
     }
-    ch.unscheduled = 0;
+    for (queued_msg& q : held) {
+      q.released_in = released_by;
+      schedule_transmission(ci, std::move(q), /*counted=*/true);
+    }
   }
 }
 
@@ -184,6 +242,17 @@ sim_time network::scheduled_delay(node_id from, node_id to, const message& m) {
 }
 
 void network::send_internal(node_id from, node_id to, message_ptr m) {
+  assert(m != nullptr);
+  // With a reliable-delivery adapter installed, application sends detour
+  // through it; the adapter re-enters via transport_send with its envelopes.
+  if (adapter_ != nullptr) {
+    adapter_->app_send(from, to, std::move(m));
+    return;
+  }
+  transport_send(from, to, std::move(m));
+}
+
+void network::transport_send(node_id from, node_id to, message_ptr m) {
   assert(m != nullptr);
   const std::uint32_t to_idx = index_of(to);
   if (to_idx == npos) throw std::invalid_argument("send: unknown destination");
@@ -202,8 +271,10 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
   }
   queued_msg q{std::move(m), tctx_.active ? tctx_.event_id : trace_context::none,
                trace_context::none, now_};
-  ++in_flight_;
   if (manual_mode_ || slots_[from_idx].blocked) {
+    // Held messages are not on the wire yet: the fault plan rules on them
+    // at release time (unblock_sender), not here.
+    ++in_flight_;
     channel& ch = channels_[ci];
     ch.queue.push_back(std::move(q));
     ++ch.unscheduled;
@@ -212,9 +283,86 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
   // Driver sends (probe, dynamic additions) happen between events; they are
   // causally ordered after the last completed activation.
   if (!tctx_.active) q.released_in = last_event_;
-  const sim_time d = scheduled_delay(from, to, *q.m);
+  schedule_transmission(ci, std::move(q), /*counted=*/false);
+}
+
+void network::schedule_transmission(std::uint32_t ci, queued_msg q,
+                                    bool counted) {
+  const node_id from = channels_[ci].from;
+  const node_id to = channels_[ci].to;
+  if (faults_on_) {
+    ++fault_stats_.transmissions;
+    if (outage_active(channels_[ci])) {
+      ++fault_stats_.outage_drops;
+      if (counted) --in_flight_;
+      return;
+    }
+    if (plan_.drop > 0.0 && channels_[ci].fault_rng.chance(plan_.drop)) {
+      ++fault_stats_.drops;
+      if (counted) --in_flight_;
+      return;
+    }
+  }
+  if (!counted) ++in_flight_;
+  sim_time d = scheduled_delay(from, to, *q.m);
+  bool dup = false;
+  if (faults_on_) {
+    if (plan_.reorder_slack > 0) {
+      // Extra delay within the model's freedom: delivery stays finite and
+      // >= the scheduler's choice; per-channel FIFO stays structural (a
+      // delivery event always releases the channel head), so slack shuffles
+      // *cross-channel* interleavings only.
+      const auto extra = static_cast<sim_time>(channels_[ci].fault_rng.below(
+          static_cast<std::uint64_t>(plan_.reorder_slack) + 1));
+      fault_stats_.reorder_delay += extra;
+      d += extra;
+    }
+    dup = plan_.duplicate > 0.0 && channels_[ci].fault_rng.chance(plan_.duplicate);
+  }
+  if (!dup) {
+    channels_[ci].queue.push_back(std::move(q));
+    push_event(now_ + d, event_kind::deliver, ci);
+    return;
+  }
+  // A duplicate is a full extra transmission — accounted in stats and shown
+  // to observers (that cost is what bench_chaos_overhead measures), same
+  // causal record, its own delay roll.
+  queued_msg copy{q.m, q.sent_in, q.released_in, q.sent_at};
   channels_[ci].queue.push_back(std::move(q));
   push_event(now_ + d, event_kind::deliver, ci);
+  ++fault_stats_.duplicates;
+  ++in_flight_;
+  stats_.record(*copy.m);
+  if (!observers_.empty()) observers_.on_send(now_, from, to, *copy.m);
+  sim_time dd = scheduled_delay(from, to, *copy.m);
+  if (plan_.reorder_slack > 0) {
+    const auto extra = static_cast<sim_time>(channels_[ci].fault_rng.below(
+        static_cast<std::uint64_t>(plan_.reorder_slack) + 1));
+    fault_stats_.reorder_delay += extra;
+    dd += extra;
+  }
+  channels_[ci].queue.push_back(std::move(copy));
+  push_event(now_ + dd, event_kind::deliver, ci);
+}
+
+void network::app_deliver(node_id to, node_id from, const message_ptr& m) {
+  assert(m != nullptr);
+  if (!tctx_.active)
+    throw std::logic_error("app_deliver outside a delivery activation");
+  const std::uint32_t to_index = index_of(to);
+  if (to_index == npos)
+    throw std::invalid_argument("app_deliver: unknown node");
+  // No observer callback here: observers and stats account the *transport*
+  // level (the envelope delivery already fired on_deliver); this is the
+  // adapter releasing the reassembled application message to the process.
+  context ctx(*this, to);
+  slots_[to_index].proc->on_message(ctx, from, m);
+}
+
+void network::schedule_adapter_timer(sim_time delay, std::uint64_t key) {
+  if (adapter_ == nullptr)
+    throw std::logic_error("schedule_adapter_timer without adapter");
+  push_event(now_ + (delay == 0 ? 1 : delay), event_kind::timer, 0, key);
 }
 
 std::uint32_t network::channel_of(std::uint32_t from, std::uint32_t to) {
@@ -226,6 +374,11 @@ std::uint32_t network::channel_of(std::uint32_t from, std::uint32_t to) {
   channels_.back().from = slots_[from].id;
   channels_.back().to = slots_[to].id;
   channels_.back().to_index = to;
+  // Seeded from node *ids*, not slot indices or creation order: the fault
+  // stream of channel (u, v) is the same in every execution of the plan.
+  if (faults_on_)
+    channels_.back().fault_rng = rng(mix64(
+        plan_.seed ^ fault_stream_salt ^ pack(slots_[from].id, slots_[to].id)));
   channel_index_.insert(key, ci);
   // Insertion-sort into the sender's out-list by destination id: the list
   // is consulted in id order by block/unblock (determinism) and stays tiny
@@ -290,9 +443,22 @@ void network::dispatch(const event& ev) {
       ensure_awake(to_index, q.sent_in, q.released_in);
       begin_activation(q.sent_in, q.released_in, q.sent_at);
       if (!observers_.empty()) observers_.on_deliver(now_, from, to, *q.m);
-      context ctx(*this, to);
-      slots_[to_index].proc->on_message(ctx, from, q.m);
+      if (adapter_ != nullptr) {
+        // Transport-level arrival: the adapter dedups/reorders and releases
+        // application messages via app_deliver inside this activation.
+        adapter_->transport_deliver(from, to, q.m);
+      } else {
+        context ctx(*this, to);
+        slots_[to_index].proc->on_message(ctx, from, q.m);
+      }
       end_activation();
+      break;
+    }
+    case event_kind::timer: {
+      // Timer callbacks run between activations (like quiescence hooks):
+      // retransmissions they trigger are causally ordered after the last
+      // completed activation.
+      if (adapter_ != nullptr) adapter_->on_timer(ev.cause);
       break;
     }
   }

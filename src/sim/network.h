@@ -14,6 +14,14 @@
 // knows) is the *algorithms'* obligation; the network transports any
 // (from, to) pair and the checker audits knowledge-graph discipline.
 //
+// Chaos mode relaxes "reliable": an installed fault_plan drops, duplicates,
+// extra-delays, or outage-blackholes transmissions at the send/release
+// choke points, and an installed link_adapter (sim/reliable_link.h) rebuilds
+// the reliable-FIFO contract above the lossy wire so the paper's algorithms
+// run unmodified.  Observers and sim::stats see the *transport* level —
+// envelopes, retransmissions, and acks — which is what makes the chaos
+// overhead measurable (bench_chaos_overhead).
+//
 // Hot-path layout (the dense core): node ids are compacted to dense slot
 // indices on add_node, so the node table is a std::vector and the per-event
 // lookups are array indexing; channels live in a std::vector addressed
@@ -36,6 +44,7 @@
 
 #include "common/flat_hash.h"
 #include "common/ids.h"
+#include "common/rng.h"
 #include "sim/message.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
@@ -43,6 +52,69 @@
 namespace asyncrd::sim {
 
 class network;
+
+/// Seeded per-channel fault plan — the chaos transport layer under the
+/// paper's reliable-FIFO model.  Faults are injected where a transmission
+/// is put on the wire: the send choke point for unblocked senders, the
+/// release choke point for adversarially held messages.  Wakes are local
+/// and never faulted, and manual mode (exhaustive exploration) is mutually
+/// exclusive with a fault plan.
+///
+/// Every decision draws from a per-channel splitmix stream keyed by
+/// (seed, from, to), so a chaos execution is byte-deterministic per seed
+/// regardless of channel creation order or wall-clock timing.
+///
+/// The paper's algorithms assume reliable links (§1.2); running them
+/// directly on a faulty transport voids every guarantee.  Layer
+/// sim::reliable_link_layer on top (network::set_link_adapter) to restore
+/// the reliable-FIFO contract — the algorithms then run unmodified.
+struct fault_plan {
+  std::uint64_t seed = 1;
+  double drop = 0.0;       ///< per-transmission loss probability
+  double duplicate = 0.0;  ///< per-transmission duplication probability
+  /// Adversarial extra-reorder: up to this much additional delivery delay,
+  /// drawn uniformly per transmission.  Stays inside the model's delay
+  /// freedom (delays remain finite and >= the scheduler's choice) but
+  /// shuffles cross-channel interleavings far harder than the scheduler
+  /// alone; per-channel FIFO stays structural either way.
+  sim_time reorder_slack = 0;
+  /// Transient link outages: each ordered link (u, v) is down for
+  /// `outage_duration` ticks out of every `outage_period`, with a per-link
+  /// phase offset derived from the seed.  Transmissions attempted inside a
+  /// window are lost.  0 disables outages.
+  sim_time outage_period = 0;
+  sim_time outage_duration = 0;
+
+  bool enabled() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || reorder_slack > 0 ||
+           (outage_period > 0 && outage_duration > 0);
+  }
+};
+
+/// Chaos-transport accounting (network::faults()).  All counters are
+/// cumulative over the run and deterministic per seed.
+struct fault_stats {
+  std::uint64_t transmissions = 0;  ///< wire attempts the plan ruled on
+  std::uint64_t drops = 0;          ///< random losses
+  std::uint64_t outage_drops = 0;   ///< losses inside an outage window
+  std::uint64_t duplicates = 0;     ///< extra copies injected
+  std::uint64_t reorder_delay = 0;  ///< total extra delay ticks injected
+};
+
+/// Hook a reliable-delivery adapter implements (sim/reliable_link.h).
+/// When installed on a network, application sends (context::send) route
+/// through app_send, every transport-level delivery is handed to
+/// transport_deliver *inside* the delivery activation (the adapter calls
+/// network::app_deliver for each application message it releases in order),
+/// and network::schedule_adapter_timer feeds on_timer for retransmission.
+class link_adapter {
+ public:
+  virtual ~link_adapter() = default;
+  virtual void app_send(node_id from, node_id to, message_ptr m) = 0;
+  virtual void transport_deliver(node_id from, node_id to,
+                                 const message_ptr& m) = 0;
+  virtual void on_timer(std::uint64_t key) = 0;
+};
 
 /// Handle a process uses to interact with the network from inside a handler.
 class context {
@@ -196,6 +268,41 @@ class network {
     return i != npos && slots_[i].blocked;
   }
 
+  // --- chaos transport ---------------------------------------------------
+  //
+  // A fault plan makes the wire lossy (drop/duplicate/extra-reorder/outage)
+  // at the send/release choke points; a link adapter layers a reliable
+  // delivery protocol above it.  Both must be installed before any traffic
+  // and are mutually exclusive with manual mode.
+
+  /// Installs (or, with a default-constructed plan, clears) the fault plan
+  /// and reseeds every per-channel fault stream from it.
+  void set_fault_plan(const fault_plan& plan);
+  const fault_plan& fault_config() const noexcept { return plan_; }
+  bool faults_enabled() const noexcept { return faults_on_; }
+  const fault_stats& faults() const noexcept { return fault_stats_; }
+
+  /// Installs a reliable-delivery adapter (not owned; must outlive the
+  /// run).  nullptr uninstalls.
+  void set_link_adapter(link_adapter* a);
+  link_adapter* adapter() const noexcept { return adapter_; }
+
+  /// Raw transport-level send, bypassing the installed adapter (adapters
+  /// use this to put envelopes and acks on the wire; the fault plan
+  /// applies).  With no adapter installed this is exactly what
+  /// context::send does.
+  void transport_send(node_id from, node_id to, message_ptr m);
+
+  /// Delivers an application message to `to`'s process.  Only valid inside
+  /// a delivery activation (adapters call it from transport_deliver after
+  /// reassembling FIFO order); the activation's causal identity covers all
+  /// messages released this way.
+  void app_deliver(node_id to, node_id from, const message_ptr& m);
+
+  /// Schedules adapter::on_timer(key) at now + delay (delay >= 1).  Timer
+  /// events are causally "between activations", like quiescence hooks.
+  void schedule_adapter_timer(sim_time delay, std::uint64_t key);
+
   // --- execution ---------------------------------------------------------
 
   /// Runs until the event queue drains and scheduler::on_quiescence
@@ -306,16 +413,20 @@ class network {
     node_id from = invalid_node;
     node_id to = invalid_node;
     std::uint32_t to_index = npos;
+    /// Per-channel fault stream, seeded from (plan seed, from, to) so fault
+    /// decisions are independent of channel creation order.
+    rng fault_rng{0};
   };
 
-  enum class event_kind : std::uint8_t { wake, deliver };
+  enum class event_kind : std::uint8_t { wake, deliver, timer };
 
   struct event {
     sim_time at;
     std::uint64_t seq;
     /// Wake events: the activation that requested the wake (none = root).
+    /// Timer events: the adapter's opaque 64-bit timer key.
     std::uint64_t cause;
-    /// Wake: target slot index.  Deliver: channel index.
+    /// Wake: target slot index.  Deliver: channel index.  Timer: unused.
     std::uint32_t target;
     event_kind kind;
   };
@@ -372,6 +483,16 @@ class network {
   sim_time scheduled_delay(node_id from, node_id to, const message& m);
 
   void send_internal(node_id from, node_id to, message_ptr m);
+
+  /// The one place a transmission goes on the wire: rolls the channel's
+  /// fault plan (outage / drop / duplicate / extra reorder delay), enqueues
+  /// the surviving copies, and schedules their delivery events.  `counted`
+  /// says whether `q` is already included in in_flight_ (release path).
+  void schedule_transmission(std::uint32_t ci, queued_msg q, bool counted);
+
+  /// True iff the (from, to) link is inside one of its outage windows now.
+  bool outage_active(const channel& ch) const noexcept;
+
   void ensure_awake(std::uint32_t idx, std::uint64_t cause,
                     std::uint64_t release);
   void dispatch(const event& ev);
@@ -396,6 +517,10 @@ class network {
   flat_u64_map channel_index_;  ///< pack(from, to) indices -> channel index
   calendar_queue<event, event_after> events_;
   std::uint64_t in_flight_ = 0;  ///< undelivered messages across all channels
+  fault_plan plan_;
+  fault_stats fault_stats_;
+  bool faults_on_ = false;
+  link_adapter* adapter_ = nullptr;
   stats stats_;
   multi_observer observers_;
   run_timing timing_;

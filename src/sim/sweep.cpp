@@ -12,10 +12,13 @@ namespace asyncrd::sim {
 sweep_result parallel_sweep(
     std::size_t job_count,
     const std::function<void(std::size_t job, std::size_t worker)>& fn,
-    std::size_t max_workers) {
+    std::size_t max_workers, sweep_result* out) {
   sweep_result result;
   result.jobs = job_count;
-  if (job_count == 0) return result;
+  if (job_count == 0) {
+    if (out != nullptr) *out = result;
+    return result;
+  }
 
   std::size_t workers = max_workers;
   if (workers == 0) {
@@ -28,6 +31,7 @@ sweep_result parallel_sweep(
   const auto start = std::chrono::steady_clock::now();
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -38,6 +42,7 @@ sweep_result parallel_sweep(
       if (job >= job_count || failed.load(std::memory_order_relaxed)) return;
       try {
         fn(job, worker);
+        completed.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mu);
@@ -63,6 +68,9 @@ sweep_result parallel_sweep(
 
   const auto elapsed = std::chrono::steady_clock::now() - start;
   result.wall_ms = std::chrono::duration<double, std::milli>(elapsed).count();
+  result.jobs_completed = completed.load(std::memory_order_relaxed);
+  result.jobs_skipped = job_count - result.jobs_completed;
+  if (out != nullptr) *out = result;
   if (first_error != nullptr) std::rethrow_exception(first_error);
   return result;
 }

@@ -32,8 +32,14 @@ namespace asyncrd::sim {
 
 /// What a sweep did, for telemetry/bench reporting.
 struct sweep_result {
-  std::size_t jobs = 0;     ///< job function invocations
+  std::size_t jobs = 0;     ///< jobs requested
   std::size_t workers = 0;  ///< threads actually used
+  /// Jobs whose function ran to completion.  Equal to `jobs` on success;
+  /// after a failure, jobs the fail-fast shutdown abandoned (and the
+  /// throwing job itself) are in jobs_skipped instead — `jobs` alone used
+  /// to claim a full sweep even when most of it never ran.
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_skipped = 0;
   double wall_ms = 0.0;     ///< wall time of the whole fan-out
   /// Aggregate events/sec across the sweep (sum of per-job event counts
   /// divided by wall time) when the caller reported events; 0 otherwise.
@@ -48,11 +54,14 @@ struct sweep_result {
 /// Exceptions: a throwing job terminates the sweep with the first exception
 /// rethrown on the calling thread after all workers joined (remaining jobs
 /// may or may not have run) — matching the fail-fast behaviour of a serial
-/// loop closely enough for tests and benches.
+/// loop closely enough for tests and benches.  Because the result object
+/// cannot be returned on the exception path, pass `out` to still receive
+/// the completion accounting (jobs_completed / jobs_skipped): it is filled
+/// right before the rethrow.
 sweep_result parallel_sweep(
     std::size_t job_count,
     const std::function<void(std::size_t job, std::size_t worker)>& fn,
-    std::size_t max_workers = 0);
+    std::size_t max_workers = 0, sweep_result* out = nullptr);
 
 // Merging a finished sweep into the metrics registry lives on the telemetry
 // side (telemetry::record_sweep in telemetry/metrics.h): telemetry already

@@ -55,9 +55,15 @@ double histogram::quantile(double q) const noexcept {
     double frac = 0.0;
     if (hi_rank > lo_rank) frac = (rank - lo_rank) / (hi_rank - lo_rank);
     const double est = lo + frac * (hi - lo);
-    // The exact extremes are tracked; never report outside them.
-    return std::clamp(est, static_cast<double>(min()),
-                      static_cast<double>(max_));
+    // `rank` is a global fractional rank, so it can fall below lo_rank (a
+    // whole-sample position inside the *previous* bucket rounded up into
+    // this one): frac goes negative and the raw estimate lands below this
+    // bucket's lower bound.  Every sample counted here lies in [lo, hi], so
+    // clamp to the bucket — tightened by the exact global extremes, which
+    // bite in the first and last occupied buckets.
+    const double lo_bound = std::max(lo, static_cast<double>(min()));
+    const double hi_bound = std::min(hi, static_cast<double>(max_));
+    return std::clamp(est, lo_bound, hi_bound);
   }
   return static_cast<double>(max_);
 }

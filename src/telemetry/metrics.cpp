@@ -40,9 +40,30 @@ void record_sweep(registry& reg, std::string_view prefix,
                   const sim::sweep_result& r) {
   const std::string p(prefix);
   reg.get_counter(p + ".jobs").inc(r.jobs);
+  reg.get_counter(p + ".jobs_completed").inc(r.jobs_completed);
+  reg.get_counter(p + ".jobs_skipped").inc(r.jobs_skipped);
   reg.get_gauge(p + ".workers").set(static_cast<double>(r.workers));
   reg.get_gauge(p + ".wall_ms").set(r.wall_ms);
   reg.get_gauge(p + ".events_per_sec").set(r.events_per_sec);
+}
+
+void record_chaos(registry& reg, std::string_view prefix,
+                  const sim::fault_stats& faults,
+                  const sim::reliable_link_stats* rl) {
+  const std::string p(prefix);
+  reg.get_counter(p + ".transmissions").inc(faults.transmissions);
+  reg.get_counter(p + ".drops").inc(faults.drops);
+  reg.get_counter(p + ".outage_drops").inc(faults.outage_drops);
+  reg.get_counter(p + ".duplicates").inc(faults.duplicates);
+  reg.get_counter(p + ".reorder_delay").inc(faults.reorder_delay);
+  if (rl == nullptr) return;
+  reg.get_counter(p + ".data_sent").inc(rl->data_sent);
+  reg.get_counter(p + ".retransmits").inc(rl->retransmits);
+  reg.get_counter(p + ".acks_sent").inc(rl->acks_sent);
+  reg.get_counter(p + ".dup_suppressed").inc(rl->dup_suppressed);
+  reg.get_counter(p + ".timer_fires").inc(rl->timer_fires);
+  reg.get_counter(p + ".rto_backoffs").inc(rl->rto_backoffs);
+  reg.get_gauge(p + ".max_rto").set(static_cast<double>(rl->max_rto));
 }
 
 void registry::write_json(json_writer& w) const {

@@ -18,6 +18,8 @@
 #include <string>
 #include <string_view>
 
+#include "sim/network.h"
+#include "sim/reliable_link.h"
 #include "sim/sweep.h"
 #include "telemetry/histogram.h"
 
@@ -76,12 +78,23 @@ class registry {
   std::map<std::string, histogram, std::less<>> histograms_;
 };
 
-/// Records a finished parallel sweep under `prefix`: "<prefix>.jobs"
-/// (counter, accumulates across sweeps), "<prefix>.workers",
-/// "<prefix>.wall_ms", "<prefix>.events_per_sec" (gauges, last sweep wins).
-/// The registry is not thread-safe; call after the sweep returned, from one
-/// thread.
+/// Records a finished parallel sweep under `prefix`: "<prefix>.jobs",
+/// "<prefix>.jobs_completed", "<prefix>.jobs_skipped" (counters, accumulate
+/// across sweeps), "<prefix>.workers", "<prefix>.wall_ms",
+/// "<prefix>.events_per_sec" (gauges, last sweep wins).  The registry is
+/// not thread-safe; call after the sweep returned, from one thread.
 void record_sweep(registry& reg, std::string_view prefix,
                   const sim::sweep_result& r);
+
+/// Records chaos-transport accounting under `prefix`: wire-level fault
+/// counters ("<prefix>.transmissions", ".drops", ".outage_drops",
+/// ".duplicates", ".reorder_delay") and, when `rl` is non-null, the
+/// reliable-link protocol counters (".data_sent", ".retransmits",
+/// ".acks_sent", ".dup_suppressed", ".timer_fires", ".rto_backoffs",
+/// ".max_rto" gauge).  All counters accumulate across runs sharing the
+/// registry.
+void record_chaos(registry& reg, std::string_view prefix,
+                  const sim::fault_stats& faults,
+                  const sim::reliable_link_stats* rl = nullptr);
 
 }  // namespace asyncrd::telemetry

@@ -38,6 +38,22 @@ void run_report::write_json(json_writer& w) const {
   else
     w.kv("hottest_node", static_cast<std::uint64_t>(hottest));
 
+  w.key("chaos").begin_object();
+  w.kv("enabled", chaos.enabled);
+  w.kv("transmissions", chaos.transmissions);
+  w.kv("drops", chaos.drops);
+  w.kv("outage_drops", chaos.outage_drops);
+  w.kv("duplicates", chaos.duplicates);
+  w.kv("reorder_delay", chaos.reorder_delay);
+  w.kv("data_sent", chaos.data_sent);
+  w.kv("retransmits", chaos.retransmits);
+  w.kv("acks_sent", chaos.acks_sent);
+  w.kv("dup_suppressed", chaos.dup_suppressed);
+  w.kv("timer_fires", chaos.timer_fires);
+  w.kv("rto_backoffs", chaos.rto_backoffs);
+  w.kv("max_rto", chaos.max_rto);
+  w.end_object();
+
   w.key("transitions").begin_object();
   for (const auto& [edge, count] : transitions) w.kv(edge, count);
   w.end_object();
@@ -77,12 +93,32 @@ run_report collect_run_report(const core::discovery_run& run,
   for (const auto& [type, ts] : st.by_type()) rep.messages_by_type[type] = ts;
 
   if (load != nullptr) {
-    for (const std::uint64_t l : load->loads()) rep.load.record(l);
+    // all_loads: dense + spilled ids in one view, and no materialized
+    // max-id-sized vector when a sparse island pushed ids far out.
+    for (const auto& [id, l] : load->all_loads()) rep.load.record(l);
     rep.max_load = load->max_load();
     rep.hottest = load->hottest();
   }
   if (transitions != nullptr)
     rep.transitions = transitions->edge_multiplicities();
+
+  rep.chaos.enabled = run.net().faults_enabled();
+  const sim::fault_stats& fs = run.net().faults();
+  rep.chaos.transmissions = fs.transmissions;
+  rep.chaos.drops = fs.drops;
+  rep.chaos.outage_drops = fs.outage_drops;
+  rep.chaos.duplicates = fs.duplicates;
+  rep.chaos.reorder_delay = fs.reorder_delay;
+  if (const sim::reliable_link_layer* rl = run.reliable_links()) {
+    const sim::reliable_link_stats& rs = rl->stats();
+    rep.chaos.data_sent = rs.data_sent;
+    rep.chaos.retransmits = rs.retransmits;
+    rep.chaos.acks_sent = rs.acks_sent;
+    rep.chaos.dup_suppressed = rs.dup_suppressed;
+    rep.chaos.timer_fires = rs.timer_fires;
+    rep.chaos.rto_backoffs = rs.rto_backoffs;
+    rep.chaos.max_rto = rs.max_rto;
+  }
   return rep;
 }
 
@@ -109,6 +145,7 @@ void run_recorder::metrics_observer::on_wake(sim::sim_time, node_id) {
 
 run_recorder::run_recorder(core::discovery_run& run)
     : run_(&run), metrics_obs_(metrics_) {
+  load_.reserve_dense(run.net().node_count());
   run_->net().add_observer(&load_);
   run_->net().add_observer(&metrics_obs_);
   run_->set_trace(&transitions_);

@@ -61,6 +61,28 @@ struct run_report {
   std::uint64_t max_load = 0;
   node_id hottest = invalid_node;
 
+  /// Chaos transport: wire-level fault counters plus the reliable-link
+  /// protocol's recovery counters.  Always serialized ("enabled": false
+  /// with all-zero counters on a clean run) so report diffs line up.
+  struct chaos_report {
+    bool enabled = false;
+    // fault_plan injections (sim::network::faults()).
+    std::uint64_t transmissions = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t outage_drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reorder_delay = 0;
+    // reliable-link recovery (sim::reliable_link_layer::stats()).
+    std::uint64_t data_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t dup_suppressed = 0;
+    std::uint64_t timer_fires = 0;
+    std::uint64_t rto_backoffs = 0;
+    std::uint64_t max_rto = 0;
+  };
+  chaos_report chaos;
+
   /// State-transition multiplicities, "explore -> wait" style keys.
   std::map<std::string, std::uint64_t> transitions;
 

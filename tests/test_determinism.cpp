@@ -3,6 +3,8 @@
 // Every benchmark number in EXPERIMENTS.md depends on this.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "core/checker.h"
 #include "core/runner.h"
 #include "graph/topology.h"
@@ -71,6 +73,44 @@ TEST(Determinism, LeaderIdenticalUnderAllSchedulesWithPhasesOff) {
     ASSERT_EQ(run.leaders().size(), 1u);
     EXPECT_EQ(run.leaders().front(), expected) << "seed " << seed;
   }
+}
+
+TEST(Determinism, ChaosExecutionsReplayByteForByte) {
+  // The chaos transport must not cost reproducibility: same plan seed =>
+  // same drops, same retransmissions, same execution — bit for bit.
+  const auto g = graph::random_weakly_connected(40, 80, 21);
+  const auto run_once = [&]() {
+    sim::random_delay_scheduler sched(21);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    sim::fault_plan plan;
+    plan.seed = 21;
+    plan.drop = 0.2;
+    plan.duplicate = 0.1;
+    plan.reorder_slack = 24;
+    plan.outage_period = 256;
+    plan.outage_duration = 32;
+    run.enable_chaos(plan);
+    run.wake_all();
+    const auto r = run.run();
+    EXPECT_TRUE(r.completed);
+    const auto& f = run.net().faults();
+    const auto& rl = run.reliable_links()->stats();
+    return std::tuple{run.statistics().total_messages(),
+                      run.statistics().total_bits(),
+                      r.events_processed,
+                      run.net().now(),
+                      run.leaders(),
+                      f.transmissions,
+                      f.drops,
+                      f.outage_drops,
+                      f.duplicates,
+                      f.reorder_delay,
+                      rl.retransmits,
+                      rl.acks_sent,
+                      rl.dup_suppressed};
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(Determinism, StatsByTypeReplayExactly) {

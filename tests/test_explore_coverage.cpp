@@ -110,5 +110,88 @@ TEST(ExploreCoverage, AscendingLineReachesAbortsAndRediscovery) {
   EXPECT_GT(c.with_abort, 0u);
 }
 
+// --- truncation paths ------------------------------------------------------
+//
+// The limits struct is the only thing standing between "exhaustive" and
+// "runs forever" on larger systems, so its semantics deserve pinning:
+// hitting a limit must clear `complete` (a truncated search must never
+// masquerade as a proof) while violations found before the cut survive.
+
+/// Builds a fresh in-star system (1 -> 0 <- 2) per reset — enough schedules
+/// to make any small max_executions bite.
+struct tiny_explorer {
+  graph::digraph g;
+  std::unique_ptr<sim::unit_delay_scheduler> sched;
+  std::unique_ptr<core::discovery_run> run;
+  core::config cfg;
+
+  tiny_explorer() {
+    g.add_edge(1, 0);
+    g.add_edge(2, 0);
+  }
+  sim::network* reset() {
+    sched = std::make_unique<sim::unit_delay_scheduler>();
+    run = std::make_unique<core::discovery_run>(g, cfg, *sched);
+    run->net().set_manual_mode();
+    run->wake_all();
+    return &run->net();
+  }
+};
+
+TEST(ExploreCoverage, ExecutionCapTruncatesButKeepsViolations) {
+  tiny_explorer t;
+  // An always-failing check: every leaf reached before the cap must be
+  // reported, proving truncation does not swallow evidence.
+  sim::explore_limits limits;
+  limits.max_executions = 3;
+  const auto res = sim::explore_interleavings(
+      [&] { return t.reset(); }, [] { return std::string("always wrong"); },
+      limits);
+  EXPECT_FALSE(res.complete) << "cap hit must clear `complete`";
+  EXPECT_LE(res.executions, limits.max_executions);
+  EXPECT_GT(res.executions, 0u);
+  EXPECT_FALSE(res.ok());
+  for (const auto& v : res.violations)
+    EXPECT_NE(v.find("always wrong"), std::string::npos) << v;
+}
+
+TEST(ExploreCoverage, ExecutionCapAboveTotalLeavesSearchComplete) {
+  // The same system explored twice: once unbounded to learn its true leaf
+  // count, once with the cap set just above it — the cap must not trip.
+  tiny_explorer t;
+  const auto full = sim::explore_interleavings(
+      [&] { return t.reset(); }, [] { return std::string(); });
+  ASSERT_TRUE(full.complete);
+  ASSERT_GT(full.executions, 3u);
+
+  sim::explore_limits limits;
+  limits.max_executions = full.executions + 1;
+  const auto capped = sim::explore_interleavings(
+      [&] { return t.reset(); }, [] { return std::string(); }, limits);
+  EXPECT_TRUE(capped.complete);
+  EXPECT_EQ(capped.executions, full.executions);
+}
+
+TEST(ExploreCoverage, DepthCapTruncatesWithoutCheckingTruncatedLeaves) {
+  tiny_explorer t;
+  // Depth 2 cannot reach quiescence for a 3-node duel (wakes alone exceed
+  // it): the search must report incompleteness, not false verdicts from
+  // half-finished executions.
+  std::uint64_t checks = 0;
+  sim::explore_limits limits;
+  limits.max_depth = 2;
+  const auto res = sim::explore_interleavings(
+      [&] { return t.reset(); },
+      [&] {
+        ++checks;
+        return std::string("reached a leaf that cannot exist");
+      },
+      limits);
+  EXPECT_FALSE(res.complete) << "depth cut must clear `complete`";
+  EXPECT_EQ(checks, 0u) << "truncated branches must not be checked";
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.executions, 0u);
+}
+
 }  // namespace
 }  // namespace asyncrd

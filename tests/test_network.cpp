@@ -2,6 +2,8 @@
 // blocking, quiescence hooks, accounting plumbing.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "sim/network.h"
@@ -374,6 +376,159 @@ TEST(Network, TimeAdvancesMonotonically) {
   const auto before = net.now();
   net.run();
   EXPECT_GT(net.now(), before);
+}
+
+// ------------------------------------------------------------- chaos faults
+
+TEST(ChaosTransport, FullDropLosesEverythingAndCounts) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 25));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  sim::fault_plan plan;
+  plan.drop = 1.0;
+  net.set_fault_plan(plan);
+  net.wake(1);
+  net.run();
+  EXPECT_TRUE(rec_ptr->received.empty());
+  EXPECT_TRUE(net.channels_empty());  // dropped, not leaked
+  EXPECT_EQ(net.faults().transmissions, 25u);
+  EXPECT_EQ(net.faults().drops, 25u);
+  // Stats count at send time: the loss is visible as sends without
+  // deliveries, which is exactly what the overhead accounting needs.
+  EXPECT_EQ(net.statistics().total_messages(), 25u);
+}
+
+TEST(ChaosTransport, DuplicateDeliversBothCopiesInOrder) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 10));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  sim::fault_plan plan;
+  plan.duplicate = 1.0;
+  net.set_fault_plan(plan);
+  net.wake(1);
+  net.run();
+  ASSERT_EQ(rec_ptr->received.size(), 20u);
+  EXPECT_EQ(net.faults().duplicates, 10u);
+  // FIFO is structural, so the copy rides right behind its original.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rec_ptr->received[static_cast<size_t>(2 * i)].second, i);
+    EXPECT_EQ(rec_ptr->received[static_cast<size_t>(2 * i + 1)].second, i);
+  }
+}
+
+TEST(ChaosTransport, PermanentOutageBlackholesTheLink) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 5));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  sim::fault_plan plan;
+  plan.outage_period = 16;
+  plan.outage_duration = 16;  // down 16 of every 16 ticks: always down
+  net.set_fault_plan(plan);
+  net.wake(1);
+  net.run();
+  EXPECT_TRUE(rec_ptr->received.empty());
+  EXPECT_EQ(net.faults().outage_drops, 5u);
+  EXPECT_EQ(net.faults().drops, 0u);
+}
+
+TEST(ChaosTransport, ReorderSlackKeepsPerChannelFifo) {
+  sim::random_delay_scheduler sched(3);
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 100));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  sim::fault_plan plan;
+  plan.reorder_slack = 500;
+  net.set_fault_plan(plan);
+  net.wake(1);
+  net.run();
+  ASSERT_EQ(rec_ptr->received.size(), 100u);
+  EXPECT_GT(net.faults().reorder_delay, 0u);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(rec_ptr->received[static_cast<size_t>(i)].second, i);
+}
+
+TEST(ChaosTransport, ReleasePathRollsTheFaultPlanToo) {
+  // Held messages go on the wire at unblock time — the second choke point.
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 8));
+  auto rec = std::make_unique<recorder_process>();
+  auto* rec_ptr = rec.get();
+  net.add_node(2, std::move(rec));
+  sim::fault_plan plan;
+  plan.drop = 1.0;
+  net.set_fault_plan(plan);
+  net.block_sender(1);
+  net.wake(1);
+  net.run_to_quiescence();
+  EXPECT_FALSE(net.channels_empty());  // held, not yet ruled on
+  EXPECT_EQ(net.faults().drops, 0u);
+  net.unblock_sender(1);
+  net.run_to_quiescence();
+  EXPECT_TRUE(rec_ptr->received.empty());
+  EXPECT_EQ(net.faults().drops, 8u);
+  EXPECT_TRUE(net.channels_empty());
+}
+
+TEST(ChaosTransport, FaultStreamsAreDeterministicPerSeed) {
+  const auto once = [](std::uint64_t seed) {
+    sim::unit_delay_scheduler sched;
+    sim::network net(sched);
+    net.add_node(1, std::make_unique<burst_process>(2, 200));
+    net.add_node(2, std::make_unique<recorder_process>());
+    sim::fault_plan plan;
+    plan.seed = seed;
+    plan.drop = 0.3;
+    plan.duplicate = 0.2;
+    plan.reorder_slack = 16;
+    net.set_fault_plan(plan);
+    net.wake(1);
+    net.run();
+    const sim::fault_stats& f = net.faults();
+    return std::tuple{f.transmissions, f.drops, f.duplicates, f.reorder_delay};
+  };
+  EXPECT_EQ(once(7), once(7));
+  EXPECT_NE(once(7), once(8));  // different seed, different fault pattern
+}
+
+TEST(ChaosTransport, ManualModeAndFaultsAreMutuallyExclusive) {
+  sim::unit_delay_scheduler sched;
+  sim::fault_plan plan;
+  plan.drop = 0.5;
+  {
+    sim::network net(sched);
+    net.set_fault_plan(plan);
+    EXPECT_THROW(net.set_manual_mode(), std::logic_error);
+  }
+  {
+    sim::network net(sched);
+    net.set_manual_mode();
+    EXPECT_THROW(net.set_fault_plan(plan), std::logic_error);
+  }
+}
+
+TEST(ChaosTransport, SetFaultPlanAfterTrafficThrows) {
+  sim::unit_delay_scheduler sched;
+  sim::network net(sched);
+  net.add_node(1, std::make_unique<burst_process>(2, 1));
+  net.add_node(2, std::make_unique<recorder_process>());
+  net.block_sender(1);
+  net.wake(1);
+  net.run_to_quiescence();  // one message now held in flight
+  sim::fault_plan plan;
+  plan.drop = 0.5;
+  EXPECT_THROW(net.set_fault_plan(plan), std::logic_error);
 }
 
 }  // namespace

@@ -23,6 +23,8 @@ TEST(ParallelSweep, EveryJobRunsExactlyOnce) {
     runs[job].fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(sw.jobs, jobs);
+  EXPECT_EQ(sw.jobs_completed, jobs);
+  EXPECT_EQ(sw.jobs_skipped, 0u);
   EXPECT_GE(sw.workers, 1u);
   for (std::size_t i = 0; i < jobs; ++i)
     EXPECT_EQ(runs[i].load(), 1) << "job " << i;
@@ -71,6 +73,45 @@ TEST(ParallelSweep, ExceptionPropagatesToCaller) {
                                        throw std::runtime_error("boom");
                                    }),
                std::runtime_error);
+}
+
+TEST(ParallelSweep, FailureReportsSkippedJobsThroughOutParam) {
+  // The fail-fast shutdown abandons claimed-but-unrun jobs; the sweep used
+  // to report only `jobs`, silently overstating coverage.  The out param
+  // is filled before the rethrow so callers see what actually ran.
+  constexpr std::size_t jobs = 64;
+  std::atomic<std::size_t> ran{0};
+  sim::sweep_result sw;
+  EXPECT_THROW(
+      sim::parallel_sweep(
+          jobs,
+          [&](std::size_t job, std::size_t) {
+            if (job == 5) throw std::runtime_error("boom");
+            ran.fetch_add(1, std::memory_order_relaxed);
+          },
+          /*max_workers=*/4, &sw),
+      std::runtime_error);
+  EXPECT_EQ(sw.jobs, jobs);
+  EXPECT_EQ(sw.jobs_completed, ran.load());
+  EXPECT_EQ(sw.jobs_skipped, jobs - ran.load());
+  // The throwing job never completes, so at least one job was skipped.
+  EXPECT_GE(sw.jobs_skipped, 1u);
+  EXPECT_LT(sw.jobs_completed, jobs);
+}
+
+TEST(ParallelSweep, SerialFailureAccountsTailExactly) {
+  // One worker runs jobs in index order: 0..6 complete, 7 throws, 8..31
+  // are never claimed — the accounting must say exactly that.
+  sim::sweep_result sw;
+  EXPECT_THROW(sim::parallel_sweep(
+                   32,
+                   [](std::size_t job, std::size_t) {
+                     if (job == 7) throw std::runtime_error("boom");
+                   },
+                   /*max_workers=*/1, &sw),
+               std::runtime_error);
+  EXPECT_EQ(sw.jobs_completed, 7u);
+  EXPECT_EQ(sw.jobs_skipped, 25u);
 }
 
 TEST(ParallelSweep, SlotPerJobMergeIsDeterministic) {

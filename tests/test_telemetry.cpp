@@ -3,9 +3,12 @@
 // registry, and run_report determinism on a fixed seed/topology.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/runner.h"
 #include "graph/topology.h"
 #include "sim/network.h"
@@ -76,6 +79,57 @@ TEST(Histogram, QuantilesClampedToObservedRange) {
   one.record(42);
   EXPECT_DOUBLE_EQ(one.quantile(0.25), 42.0);
   EXPECT_DOUBLE_EQ(one.p99(), 42.0);
+}
+
+TEST(Histogram, QuantileEstimateStaysInsideItsOwnBucket) {
+  // Regression pin: {0, 16, 17, 18, 19}, q = 0.1.  The global fractional
+  // rank (0.4) falls below the selected bucket's first rank (1), so the
+  // unclamped interpolation lands at 13 — below the [16, 31] bucket every
+  // sample it claims to describe lives in.  The old global [min, max]
+  // clamp (here [0, 19]) let that 13 escape.
+  telemetry::histogram h;
+  for (const std::uint64_t v : {0u, 16u, 17u, 18u, 19u}) h.record(v);
+  const double est = h.quantile(0.1);
+  EXPECT_GE(est, 16.0) << "estimate escaped below its bucket";
+  EXPECT_LE(est, 19.0);
+}
+
+TEST(Histogram, QuantilePropertyAgainstSortedReference) {
+  // Property checked against the exact sorted sample: for every q, the
+  // estimate must lie inside the log-bucket of the exact order statistic
+  // at ceil(rank) — tightened by the true extremes — and estimates must be
+  // monotone in q.  Random samples across magnitudes, deterministic seed.
+  rng r(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    telemetry::histogram h;
+    std::vector<std::uint64_t> xs(1 + r.below(200));
+    for (auto& x : xs) {
+      // Spread magnitudes so many buckets (including empty gaps) occur.
+      x = r.below(std::uint64_t{1} << (1 + r.below(40)));
+      h.record(x);
+    }
+    std::sort(xs.begin(), xs.end());
+
+    double prev = -1.0;
+    for (const double q :
+         {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      const double rank = q * static_cast<double>(xs.size() - 1);
+      const std::uint64_t pivot =
+          xs[static_cast<std::size_t>(std::ceil(rank))];
+      const std::size_t b = telemetry::histogram::bucket_of(pivot);
+      const double lo =
+          std::max(static_cast<double>(telemetry::histogram::bucket_lower(b)),
+                   static_cast<double>(xs.front()));
+      const double hi =
+          std::min(static_cast<double>(telemetry::histogram::bucket_upper(b)),
+                   static_cast<double>(xs.back()));
+      const double est = h.quantile(q);
+      EXPECT_GE(est, lo) << "trial " << trial << " q " << q;
+      EXPECT_LE(est, hi) << "trial " << trial << " q " << q;
+      EXPECT_GE(est, prev) << "non-monotone at trial " << trial << " q " << q;
+      prev = est;
+    }
+  }
 }
 
 TEST(Histogram, MergeAndReset) {

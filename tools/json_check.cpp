@@ -39,7 +39,7 @@ const std::vector<std::string> bench_keys = {
 
 const std::vector<std::string> report_keys = {
     "label",          "variant", "nodes",   "total_messages",
-    "messages_by_type", "wall_ms", "load",  "transitions"};
+    "messages_by_type", "wall_ms", "load",  "chaos", "transitions"};
 
 bool complain(const std::string& path, std::size_t offset,
               const std::string& what) {
