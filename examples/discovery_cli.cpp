@@ -12,12 +12,25 @@
 //     --trace PATH      write a causal trace as Chrome trace-event /
 //                       Perfetto JSON, loadable in ui.perfetto.dev and
 //                       readable by tools/trace_analyze
+//     --chaos SPEC      lossy wire + reliable-delivery adapter; SPEC is
+//                       comma-separated: drop=P, dup=P, slack=T,
+//                       outage=PERIOD:DURATION, seed=N
+//     --series N        sample the runtime health series every N sim-time
+//                       ticks (adds a "series" block to --json and counter
+//                       tracks to --trace)
+//     --watchdog W      arm the stall watchdog with window W; a trip
+//                       aborts the run and exits with status 3
+//     --flight PATH     keep a flight recorder armed and write the last-K
+//                       scheduler events to PATH at exit (the postmortem
+//                       ring; read it with trace_analyze --flight)
 //
 // Examples:
 //   echo "0 1
 //   1 2" | discovery_cli -
 //   discovery_cli --gen random:500:500 --variant adhoc --seed 7
 //   discovery_cli --gen tree:6 --dot | dot -Tpng > tree.png
+//   discovery_cli --gen random:200:200 --chaos drop=0.3,outage=2000:400
+//     --series 256 --watchdog 20000 --flight crash.json --json report.json
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +43,7 @@
 #include "graph/graphio.h"
 #include "graph/topology.h"
 #include "telemetry/critical_path.h"
+#include "telemetry/health.h"
 #include "telemetry/perfetto.h"
 #include "telemetry/report.h"
 #include "telemetry/tracer.h"
@@ -49,8 +63,38 @@ using namespace asyncrd;
       "  --dot                 dump Graphviz DOT of E0 and exit\n"
       "  --quiet               no per-type breakdown\n"
       "  --json PATH           write a JSON run report to PATH\n"
-      "  --trace PATH          write a causal Perfetto trace to PATH\n";
+      "  --trace PATH          write a causal Perfetto trace to PATH\n"
+      "  --chaos SPEC          drop=P,dup=P,slack=T,outage=PER:DUR,seed=N\n"
+      "  --series N            sample health series every N ticks\n"
+      "  --watchdog W          stall watchdog, window W (trip => exit 3)\n"
+      "  --flight PATH         write flight-recorder ring to PATH at exit\n";
   std::exit(2);
+}
+
+sim::fault_plan parse_chaos(const std::string& spec) {
+  sim::fault_plan plan;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) usage("--chaos items are key=value");
+    const std::string k = item.substr(0, eq);
+    const std::string v = item.substr(eq + 1);
+    if (k == "drop") plan.drop = std::stod(v);
+    else if (k == "dup") plan.duplicate = std::stod(v);
+    else if (k == "slack") plan.reorder_slack = std::stoull(v);
+    else if (k == "seed") plan.seed = std::stoull(v);
+    else if (k == "outage") {
+      const std::size_t colon = v.find(':');
+      if (colon == std::string::npos) usage("--chaos outage=PERIOD:DURATION");
+      plan.outage_period = std::stoull(v.substr(0, colon));
+      plan.outage_duration = std::stoull(v.substr(colon + 1));
+    } else {
+      usage(("unknown --chaos key " + k).c_str());
+    }
+  }
+  if (!plan.enabled()) usage("--chaos spec enables no faults");
+  return plan;
 }
 
 graph::digraph generate(const std::string& spec) {
@@ -78,7 +122,8 @@ graph::digraph generate(const std::string& spec) {
 int main(int argc, char** argv) {
   std::string variant_name = "generic";
   std::uint64_t seed = 1;
-  std::string gen_spec, input, json_path, trace_path;
+  std::string gen_spec, input, json_path, trace_path, chaos_spec, flight_path;
+  std::uint64_t series_interval = 0, watchdog_window = 0;
   bool want_dot = false, quiet = false;
   node_id probe_from = invalid_node;
 
@@ -96,6 +141,10 @@ int main(int argc, char** argv) {
     else if (a == "--quiet") quiet = true;
     else if (a == "--json") json_path = next();
     else if (a == "--trace") trace_path = next();
+    else if (a == "--chaos") chaos_spec = next();
+    else if (a == "--series") series_interval = std::stoull(next());
+    else if (a == "--watchdog") watchdog_window = std::stoull(next());
+    else if (a == "--flight") flight_path = next();
     else if (a == "--version") {
       std::cout << "asyncrd " << asyncrd::version << '\n';
       return 0;
@@ -134,8 +183,21 @@ int main(int argc, char** argv) {
     sched = std::make_unique<sim::random_delay_scheduler>(seed);
 
   core::discovery_run run(g, cfg, *sched);
+  if (!chaos_spec.empty()) run.enable_chaos(parse_chaos(chaos_spec));
+
   std::unique_ptr<telemetry::run_recorder> rec;
-  if (!json_path.empty()) rec = std::make_unique<telemetry::run_recorder>(run);
+  const bool want_recorder = !json_path.empty() || series_interval > 0 ||
+                             watchdog_window > 0 || !flight_path.empty();
+  if (want_recorder) {
+    telemetry::recorder_options opts;
+    opts.series_interval = series_interval;
+    opts.watchdog.window = watchdog_window;
+    // A CLI run that stalls would otherwise burn to the event cap; the
+    // watchdog aborting it is the whole point of arming one here.
+    opts.watchdog.abort_on_trip = true;
+    if (!flight_path.empty()) opts.flight_capacity = 4096;
+    rec = std::make_unique<telemetry::run_recorder>(run, opts);
+  }
   std::unique_ptr<telemetry::tracer> tr;
   if (!trace_path.empty()) {
     tr = std::make_unique<telemetry::tracer>(run.net());
@@ -143,8 +205,53 @@ int main(int argc, char** argv) {
   }
   run.wake_all();
   const auto r = run.run();
+
+  // Postmortem ring: written on every exit path once armed, so a failing
+  // run always leaves its last-K scheduler events behind.
+  const auto write_flight = [&]() {
+    if (flight_path.empty() || rec == nullptr || rec->flight() == nullptr)
+      return;
+    std::ofstream out(flight_path);
+    telemetry::write_flight_dump(out, *rec->flight());
+    if (!out)
+      std::cerr << "failed to write " << flight_path << '\n';
+    else
+      std::cout << "[flight] " << flight_path << '\n';
+  };
+  // spec-checker verdict for the report's "extra" block; -1 == not run
+  // (stall abort exits before the checker).
+  double spec_ok = -1.0;
+  const auto write_report = [&]() {
+    if (json_path.empty() || rec == nullptr) return;
+    telemetry::run_report report = rec->report(r);
+    report.label = "discovery_cli";
+    report.variant = core::to_string(cfg.algo);
+    report.seed = seed;
+    report.edges = g.edge_count();
+    if (spec_ok >= 0.0) report.extra["spec_check_ok"] = spec_ok;
+    std::ofstream out(json_path);
+    out << report.to_json() << '\n';
+    if (!out)
+      std::cerr << "failed to write " << json_path << '\n';
+    else
+      std::cout << "[json] " << json_path << '\n';
+  };
+
+  if (r.stopped) {
+    std::cerr << "run aborted: stall watchdog tripped at t=" << run.net().now()
+              << " (window " << watchdog_window << ")\n";
+    if (rec != nullptr && rec->watchdog() != nullptr)
+      for (const telemetry::watchdog_trip& t : rec->watchdog()->trips())
+        std::cerr << "  trip at t=" << t.at << ": no progress since t="
+                  << t.last_progress_at << ", in_flight=" << t.in_flight
+                  << ", arq_outstanding=" << t.arq_outstanding << '\n';
+    write_report();
+    write_flight();
+    return 3;
+  }
   if (!r.completed) {
     std::cerr << "run aborted: event cap exceeded\n";
+    write_flight();
     return 1;
   }
 
@@ -173,28 +280,21 @@ int main(int argc, char** argv) {
                 << ", census " << c->ids.size() << " ids\n";
   }
 
-  if (rec) {
-    telemetry::run_report report = rec->report(r);
-    report.label = "discovery_cli";
-    report.variant = core::to_string(cfg.algo);
-    report.seed = seed;
-    report.edges = g.edge_count();
-    report.extra["spec_check_ok"] = rep.ok() ? 1.0 : 0.0;
-    std::ofstream out(json_path);
-    out << report.to_json() << '\n';
-    if (!out) {
-      std::cerr << "failed to write " << json_path << '\n';
-      return 1;
-    }
-    std::cout << "[json] " << json_path << '\n';
-  }
+  spec_ok = rep.ok() ? 1.0 : 0.0;
+  write_report();
 
   if (tr) {
     const auto cp = telemetry::extract_critical_path(tr->events());
     std::cout << "critical path: " << cp.length << " hops (sim time "
               << run.net().now() << ")\n";
     std::ofstream out(trace_path);
-    telemetry::write_perfetto_trace(out, tr->events(), "discovery_cli");
+    // An armed sampler adds its health series as Perfetto counter tracks;
+    // without one the output is byte-identical to the pre-series format.
+    if (rec != nullptr && rec->sampler() != nullptr)
+      telemetry::write_perfetto_trace(out, tr->events(), "discovery_cli",
+                                      telemetry::counter_tracks(*rec->sampler()));
+    else
+      telemetry::write_perfetto_trace(out, tr->events(), "discovery_cli");
     if (!out) {
       std::cerr << "failed to write " << trace_path << '\n';
       return 1;
@@ -203,6 +303,7 @@ int main(int argc, char** argv) {
     run.net().remove_observer(tr.get());
   }
 
+  write_flight();
   std::cout << "spec check: " << (rep.ok() ? "OK" : "FAILED") << '\n';
   if (!rep.ok()) std::cout << rep.to_string();
   return rep.ok() ? 0 : 1;

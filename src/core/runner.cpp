@@ -9,6 +9,11 @@ namespace asyncrd::core {
 discovery_run::discovery_run(const graph::digraph& g, config cfg,
                              sim::scheduler& sched)
     : cfg_(cfg), net_(sched) {
+  // The merge tracker sits between the nodes and any user trace sink for
+  // the whole run; a trace passed in via cfg becomes its forward target.
+  merge_tracker_.net = &net_;
+  merge_tracker_.user = cfg_.trace;
+  cfg_.trace = &merge_tracker_;
   std::map<node_id, std::size_t> sizes;
   if (cfg_.algo == variant::bounded) sizes = g.weak_component_sizes();
   // g.nodes() is ascending, and every generator hands out ids 0..n-1, so
@@ -65,6 +70,20 @@ void discovery_run::add_link_dynamic(node_id u, node_id v) {
 }
 
 void discovery_run::probe(node_id u) { at(u).initiate_probe(net_); }
+
+std::size_t discovery_run::chain_length(node_id v, std::size_t max_hops) const {
+  std::size_t hops = 0;
+  node_id cur = v;
+  while (hops < max_hops) {
+    const auto* p = dynamic_cast<const node*>(net_.find(cur));
+    if (p == nullptr) break;
+    const node_id nxt = p->next();
+    if (nxt == invalid_node || nxt == cur) break;
+    ++hops;
+    cur = nxt;
+  }
+  return hops;
+}
 
 std::vector<node_id> discovery_run::leaders() const {
   std::vector<node_id> out;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/node.h"
+#include "core/trace.h"
 #include "graph/digraph.h"
 #include "sim/network.h"
 #include "sim/reliable_link.h"
@@ -33,7 +34,31 @@ class discovery_run {
   /// Arms (or, with nullptr, disarms) the state-transition trace for the
   /// rest of the execution — nodes consult the shared config on every
   /// transition, so this works after construction (telemetry uses it).
-  void set_trace(trace_sink* sink) noexcept { cfg_.trace = sink; }
+  /// The run keeps its own merge tracker permanently installed and forwards
+  /// every transition to `sink`, so merge accounting (below) always works.
+  void set_trace(trace_sink* sink) noexcept { merge_tracker_.user = sink; }
+
+  /// Component merges so far: transitions of a node from a leader status to
+  /// a non-leader status (paper §4's leader definition).  Every merge
+  /// retires exactly one leader, so live components = nodes - merges.
+  std::uint64_t merges() const noexcept { return merge_tracker_.merges; }
+
+  /// Virtual time of the most recent merge (0 before the first) — one of
+  /// the stall watchdog's progress signals.
+  sim::sim_time last_merge_at() const noexcept {
+    return merge_tracker_.last_merge_at;
+  }
+
+  /// Live components remaining by merge accounting.
+  std::uint64_t components_remaining() const noexcept {
+    return net_.node_count() - merge_tracker_.merges;
+  }
+
+  /// Length of the next-pointer routing chain starting at `v` (0 when v's
+  /// next points nowhere / at itself), capped at `max_hops`.  The series
+  /// sampler uses this for pointer-chain hi-water marks; path compression
+  /// should keep real chains short (Lemma 5.4's amortization argument).
+  std::size_t chain_length(node_id v, std::size_t max_hops = 64) const;
 
   /// The node object for an id (throws if unknown).
   node& at(node_id id);
@@ -75,8 +100,26 @@ class discovery_run {
   std::vector<node_id> ids() const { return net_.node_ids(); }
 
  private:
+  /// Permanently installed trace sink: counts leader -> non-leader
+  /// transitions (component merges) and forwards everything to the
+  /// user-armed sink, so telemetry can trace without losing merge counts.
+  struct merge_tracker final : trace_sink {
+    void on_transition(node_id n, status_t from, status_t to) override {
+      if (is_leader_status(from) && !is_leader_status(to)) {
+        ++merges;
+        last_merge_at = net->now();
+      }
+      if (user != nullptr) user->on_transition(n, from, to);
+    }
+    std::uint64_t merges = 0;
+    sim::sim_time last_merge_at = 0;
+    sim::network* net = nullptr;
+    trace_sink* user = nullptr;
+  };
+
   config cfg_;  // nodes keep a pointer into this; must outlive them
   sim::network net_;
+  merge_tracker merge_tracker_;
   /// Chaos mode only; declared after net_ so it is destroyed first (the
   /// network holds a non-owning adapter pointer into it).
   std::unique_ptr<sim::reliable_link_layer> rl_;

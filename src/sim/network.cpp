@@ -45,6 +45,39 @@ bool multi_observer::remove(observer* obs) {
 
 sim_time context::now() const noexcept { return net_->now(); }
 
+void network::add_health_probe(health_probe* p, sim_time first_at) {
+  assert(p != nullptr);
+  probes_.emplace_back(p, first_at < now_ ? now_ : first_at);
+  next_probe_ = std::min(next_probe_, probes_.back().second);
+}
+
+bool network::remove_health_probe(health_probe* p) {
+  const auto it = std::find_if(probes_.begin(), probes_.end(),
+                               [p](const auto& e) { return e.first == p; });
+  if (it == probes_.end()) return false;
+  probes_.erase(it);
+  next_probe_ = no_probe;
+  for (const auto& [probe, at] : probes_)
+    next_probe_ = std::min(next_probe_, at);
+  return true;
+}
+
+void network::fire_probes() {
+  // Probes may detach (return 0) but must not register new probes from
+  // inside on_probe — the vector must not reallocate mid-iteration.
+  for (auto& [probe, at] : probes_) {
+    if (now_ < at) continue;
+    const sim_time next = probe->on_probe(*this);
+    at = next == 0 ? no_probe : (next <= now_ ? now_ + 1 : next);
+  }
+  probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
+                               [](const auto& e) { return e.second == no_probe; }),
+                probes_.end());
+  next_probe_ = no_probe;
+  for (const auto& [probe, at] : probes_)
+    next_probe_ = std::min(next_probe_, at);
+}
+
 void context::send(node_id to, message_ptr m) {
   net_->send_internal(self_, to, std::move(m));
 }
@@ -180,6 +213,7 @@ void network::take_step(const manual_step& s) {
   ensure_awake(to_index, q.sent_in, q.released_in);
   begin_activation(q.sent_in, q.released_in, q.sent_at);
   observers_.on_deliver(now_, s.a, s.b, *q.m);
+  ++app_deliveries_;
   context ctx(*this, s.b);
   slots_[to_index].proc->on_message(ctx, s.a, q.m);
   end_activation();
@@ -355,6 +389,7 @@ void network::app_deliver(node_id to, node_id from, const message_ptr& m) {
   // No observer callback here: observers and stats account the *transport*
   // level (the envelope delivery already fired on_deliver); this is the
   // adapter releasing the reassembled application message to the process.
+  ++app_deliveries_;
   context ctx(*this, to);
   slots_[to_index].proc->on_message(ctx, from, m);
 }
@@ -414,6 +449,9 @@ void network::ensure_awake(std::uint32_t idx, std::uint64_t cause,
   const node_id id = slot.id;
   // Callbacks may add nodes (vector may reallocate): slot is dead now.
   begin_activation(cause, release, now_);
+  if (flight_ != nullptr)
+    flight_->record({now_, tctx_.event_id, cause, id, invalid_node,
+                     flight_entry::kind::wake, 0});
   observers_.on_wake(now_, id);
   context ctx(*this, id);
   proc->on_wake(ctx);
@@ -442,12 +480,16 @@ void network::dispatch(const event& ev) {
       // A message-induced wake shares the arriving message's causes.
       ensure_awake(to_index, q.sent_in, q.released_in);
       begin_activation(q.sent_in, q.released_in, q.sent_at);
+      if (flight_ != nullptr)
+        flight_->record({now_, tctx_.event_id, q.sent_in, from, to,
+                         flight_entry::kind::deliver, q.m->dispatch_tag()});
       if (!observers_.empty()) observers_.on_deliver(now_, from, to, *q.m);
       if (adapter_ != nullptr) {
         // Transport-level arrival: the adapter dedups/reorders and releases
         // application messages via app_deliver inside this activation.
         adapter_->transport_deliver(from, to, q.m);
       } else {
+        ++app_deliveries_;
         context ctx(*this, to);
         slots_[to_index].proc->on_message(ctx, from, q.m);
       }
@@ -458,6 +500,9 @@ void network::dispatch(const event& ev) {
       // Timer callbacks run between activations (like quiescence hooks):
       // retransmissions they trigger are causally ordered after the last
       // completed activation.
+      if (flight_ != nullptr)
+        flight_->record({now_, flight_entry::none, ev.cause, invalid_node,
+                         invalid_node, flight_entry::kind::timer, 0});
       if (adapter_ != nullptr) adapter_->on_timer(ev.cause);
       break;
     }
@@ -478,6 +523,7 @@ void network::finalize_id_bits() {
 
 run_result network::run_to_quiescence(std::uint64_t max_events) {
   finalize_id_bits();
+  stop_requested_ = false;
   run_result r;
   const auto start = std::chrono::steady_clock::now();
   while (!events_.empty()) {
@@ -486,6 +532,15 @@ run_result network::run_to_quiescence(std::uint64_t max_events) {
       break;
     }
     dispatch(events_.pop());
+    // Runtime health: one compare per event when no probe is due.
+    if (now_ >= next_probe_) {
+      fire_probes();
+      if (stop_requested_) {
+        r.completed = false;
+        r.stopped = true;
+        break;
+      }
+    }
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   ++timing_.loops;
@@ -505,6 +560,7 @@ run_result network::run(std::uint64_t max_events) {
     total.events_processed += r.events_processed;
     if (!r.completed) {
       total.completed = false;
+      total.stopped = r.stopped;
       return total;
     }
     // A correct quiescence hook that returns true must have injected work

@@ -45,6 +45,7 @@
 #include "common/flat_hash.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "sim/flight_recorder.h"
 #include "sim/message.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
@@ -189,11 +190,28 @@ class multi_observer final : public observer {
   std::vector<observer*> observers_;
 };
 
+/// Periodic virtual-time callback driven by the event loop (runtime health
+/// layer: series samplers, stall watchdogs).  The network fires on_probe
+/// after dispatching the first event at or past the probe's due time — the
+/// unarmed cost is one integer compare per event.  Probes run *between*
+/// activations (like quiescence hooks) and must not send traffic.
+class health_probe {
+ public:
+  virtual ~health_probe() = default;
+  /// Returns the next virtual time this probe wants to fire (values <= now
+  /// are clamped to now + 1), or 0 to detach for the rest of the run.
+  virtual sim_time on_probe(network& net) = 0;
+};
+
 /// Result of network::run.
 struct run_result {
   std::uint64_t events_processed = 0;
-  /// False iff the event cap was hit (indicates a bug / livelock).
+  /// False iff the event cap was hit (indicates a bug / livelock) or a
+  /// health probe aborted the run (`stopped`).
   bool completed = true;
+  /// True iff a health probe called network::request_stop (e.g. a stall
+  /// watchdog configured to abort on trip).
+  bool stopped = false;
 };
 
 /// Causal identity of the *activation* currently being dispatched — one
@@ -366,6 +384,36 @@ class network {
     if (obs != nullptr) observers_.add(obs);
   }
 
+  // --- runtime health ----------------------------------------------------
+  //
+  // Probes are virtual-time periodic callbacks (telemetry samplers, stall
+  // watchdogs); the flight recorder is a ring of the last K dispatched
+  // events for postmortems.  Neither is owned; both must outlive the run.
+
+  /// Registers a health probe; its first firing is at or after `first_at`.
+  void add_health_probe(health_probe* p, sim_time first_at);
+  /// Unregisters; returns false if the probe was not registered.
+  bool remove_health_probe(health_probe* p);
+
+  /// Installs (nullptr uninstalls) a flight recorder that receives one
+  /// entry per dispatched event.
+  void set_flight_recorder(flight_recorder* fr) noexcept { flight_ = fr; }
+  flight_recorder* flight() const noexcept { return flight_; }
+
+  /// Asks the running event loop to stop after the current event; the
+  /// run_result comes back with stopped = true, completed = false.  Called
+  /// by probes (watchdog abort-on-trip); a no-op outside run().
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  /// Undelivered messages across all channels (held ones included).
+  std::uint64_t in_flight() const noexcept { return in_flight_; }
+  /// Scheduled events not yet dispatched.
+  std::size_t queue_depth() const noexcept { return events_.size(); }
+  /// Application-level messages handed to processes (with a reliable-link
+  /// adapter installed this counts released app messages, not envelopes) —
+  /// the watchdog's delivery-progress signal.
+  std::uint64_t app_deliveries() const noexcept { return app_deliveries_; }
+
   // --- causal tracing ----------------------------------------------------
   //
   // Every activation (wake/delivery callback) gets a unique event id, and
@@ -495,6 +543,9 @@ class network {
 
   void ensure_awake(std::uint32_t idx, std::uint64_t cause,
                     std::uint64_t release);
+  /// Fires every due probe and recomputes next_probe_ (the cached minimum
+  /// the hot loop compares against).
+  void fire_probes();
   void dispatch(const event& ev);
   void push_event(sim_time at, event_kind kind, std::uint32_t target,
                   std::uint64_t cause = trace_context::none);
@@ -524,6 +575,15 @@ class network {
   stats stats_;
   multi_observer observers_;
   run_timing timing_;
+  /// Registered health probes with their next due times.  next_probe_
+  /// caches the minimum so the event loop pays one compare per event; it is
+  /// the sentinel no_probe when nothing is armed.
+  static constexpr sim_time no_probe = ~sim_time{0};
+  std::vector<std::pair<health_probe*, sim_time>> probes_;
+  sim_time next_probe_ = no_probe;
+  flight_recorder* flight_ = nullptr;
+  std::uint64_t app_deliveries_ = 0;
+  bool stop_requested_ = false;
   sim_time now_ = 0;
   std::uint64_t seq_ = 0;
   trace_context tctx_;

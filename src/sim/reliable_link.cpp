@@ -48,8 +48,11 @@ void reliable_link_layer::arm_timer(std::uint32_t index) {
   // Jittered deadline: rto + uniform[0, rto/2].  The spread keeps a capped
   // backoff schedule from resonating with a periodic outage window — if
   // rto_max were a multiple of outage_period, every retry on an unlucky
-  // channel would land inside the blackout, forever.
-  const sim_time delay = s.rto + s.jitter.below(s.rto / 2 + 1);
+  // channel would land inside the blackout, forever.  (The config knob
+  // turning it off exists to re-create exactly that livelock in watchdog
+  // tests.)
+  const sim_time delay =
+      cfg_.retransmit_jitter ? s.rto + s.jitter.below(s.rto / 2 + 1) : s.rto;
   s.deadline = net_->now() + delay;
   net_->schedule_adapter_timer(delay, index);
 }
@@ -60,6 +63,8 @@ void reliable_link_layer::app_send(node_id from, node_id to, message_ptr m) {
   message_ptr env = make_message<rl_data_msg>(std::move(m), seq);
   const bool was_drained = s.unacked.empty();
   s.unacked.push_back(env);
+  ++outstanding_;
+  if (was_drained) ++backlogged_;
   ++stats_.data_sent;
   net_->transport_send(from, to, std::move(env));
   // transport_send may create channels and grow internal tables, but the
@@ -125,10 +130,12 @@ void reliable_link_layer::handle_ack(node_id from, node_id to,
   sender_state& s = senders_[index];
   if (ack.ack <= s.base) return;  // stale cumulative ack
   assert(ack.ack <= s.base + s.unacked.size());
-  s.unacked.erase(s.unacked.begin(),
-                  s.unacked.begin() +
-                      static_cast<std::ptrdiff_t>(ack.ack - s.base));
+  const std::uint64_t acked = ack.ack - s.base;
+  s.unacked.erase(s.unacked.begin(), s.unacked.begin() +
+                                         static_cast<std::ptrdiff_t>(acked));
   s.base = ack.ack;
+  outstanding_ -= acked;
+  if (s.unacked.empty()) --backlogged_;
   // Progress: back off no longer — reset the timeout and re-arm for what
   // remains.  The previously armed timer is orphaned by the deadline move;
   // with nothing left unacked it finds an empty queue and dies.

@@ -88,6 +88,11 @@ struct reliable_link_config {
   sim_time rto_initial = 256;
   /// Exponential backoff cap.
   sim_time rto_max = 16384;
+  /// Jitter retransmit deadlines (rto + uniform[0, rto/2]).  On by default
+  /// — disabling it re-creates the phase-locked-retransmit livelock (a
+  /// capped rto resonating with a periodic outage window) and exists so
+  /// tests can inject that livelock for the stall watchdog to catch.
+  bool retransmit_jitter = true;
 };
 
 /// Adapter-level accounting (chaos counters in the run report).
@@ -116,6 +121,16 @@ class reliable_link_layer final : public link_adapter {
   /// True iff every sent envelope has been cumulatively acked (the protocol
   /// is drained; asserted by tests after a completed run).
   bool all_acked() const noexcept;
+
+  /// Total un-acked envelopes across all channels — the ARQ retransmit
+  /// backlog.  Maintained incrementally (O(1) read) because health probes
+  /// read it every sample: nonzero outstanding with an empty wire is
+  /// exactly the pure-livelock signature the stall watchdog keys on.
+  std::uint64_t outstanding() const noexcept { return outstanding_; }
+
+  /// Ordered channels with at least one un-acked envelope (the count of
+  /// outstanding ranges).  Incrementally maintained like outstanding().
+  std::uint64_t backlogged_channels() const noexcept { return backlogged_; }
 
   // link_adapter interface (called by the network).
   void app_send(node_id from, node_id to, message_ptr m) override;
@@ -162,6 +177,8 @@ class reliable_link_layer final : public link_adapter {
   network* net_;
   reliable_link_config cfg_;
   reliable_link_stats stats_;
+  std::uint64_t outstanding_ = 0;  ///< sum of unacked.size() over senders
+  std::uint64_t backlogged_ = 0;   ///< senders with unacked non-empty
   flat_u64_map sender_index_;    ///< pack(from, to) -> senders_ index
   std::vector<sender_state> senders_;
   flat_u64_map receiver_index_;  ///< pack(from, to) -> receivers_ index

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "telemetry/json.h"
+#include "telemetry/timeseries.h"
 
 namespace asyncrd::telemetry {
 
@@ -59,10 +60,28 @@ void write_flow(json_writer& w, const trace_event& e) {
   w.end_object();
 }
 
+/// Chrome counter events: one 'C' event per sample, args carry the value.
+/// All counters share tid 0 so they group above the per-node tracks.
+void write_counter_track(json_writer& w, const counter_series& c) {
+  const std::size_t n = std::min(c.t.size(), c.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("cat", "health");
+    w.kv("ph", "C");
+    w.kv("ts", c.t[i]);
+    w.kv("pid", 1);
+    w.kv("tid", 0);
+    w.key("args").begin_object().kv("value", c.values[i]).end_object();
+    w.end_object();
+  }
+}
+
 }  // namespace
 
 std::string perfetto_trace_json(const std::vector<trace_event>& events,
-                                std::string_view label) {
+                                std::string_view label,
+                                const std::vector<counter_series>& counters) {
   std::set<node_id> nodes;
   std::uint64_t deliveries = 0;
   for (const trace_event& e : events) {
@@ -114,15 +133,55 @@ std::string perfetto_trace_json(const std::vector<trace_event>& events,
     write_slice(w, e);
     if (e.what == trace_event::kind::deliver) write_flow(w, e);
   }
+  for (const counter_series& c : counters) write_counter_track(w, c);
   w.end_array();
   w.end_object();
   return w.take();
+}
+
+std::string perfetto_trace_json(const std::vector<trace_event>& events,
+                                std::string_view label) {
+  return perfetto_trace_json(events, label, {});
 }
 
 void write_perfetto_trace(std::ostream& os,
                           const std::vector<trace_event>& events,
                           std::string_view label) {
   os << perfetto_trace_json(events, label) << '\n';
+}
+
+void write_perfetto_trace(std::ostream& os,
+                          const std::vector<trace_event>& events,
+                          std::string_view label,
+                          const std::vector<counter_series>& counters) {
+  os << perfetto_trace_json(events, label, counters) << '\n';
+}
+
+std::vector<counter_series> counter_tracks(const series_sampler& sampler) {
+  const series_frame& f = sampler.frame();
+  std::vector<counter_series> out;
+  const std::vector<std::uint64_t> t = f.times();
+  if (t.empty()) return out;
+  for (std::uint32_t i = 0; i < f.columns(); ++i) {
+    counter_series c;
+    const std::string& name = f.column_name(i);
+    c.t = t;
+    c.values = f.column(i);
+    // Cumulative counters become per-sample deltas: a send-rate dip during
+    // an outage window reads directly off the track instead of hiding in
+    // the slope of an ever-growing total.
+    const bool cumulative =
+        name.rfind("sent.", 0) == 0 || name == "arq.retransmits";
+    if (cumulative) {
+      c.name = name + "/delta";
+      for (std::size_t j = c.values.size(); j-- > 1;)
+        c.values[j] -= c.values[j - 1];
+    } else {
+      c.name = name;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 }  // namespace asyncrd::telemetry

@@ -22,14 +22,44 @@
 
 namespace asyncrd::telemetry {
 
+class series_sampler;
+
+/// One counter track: a named series of (ts, value) counter events ('C'
+/// phase) rendered by the Perfetto UI as a numeric track on the same
+/// timeline as the per-node slice tracks — this is how the runtime health
+/// series (in-flight, components remaining, ARQ backlog, ...) lines up
+/// visually with the flow arrows.
+struct counter_series {
+  std::string name;
+  std::vector<std::uint64_t> t;       ///< sample times (sim time)
+  std::vector<std::uint64_t> values;  ///< same length as t
+};
+
 /// Serializes trace events as a Chrome trace-event JSON document
 /// ({"traceEvents": [...], ...}).  `label` goes into otherData.
 std::string perfetto_trace_json(const std::vector<trace_event>& events,
                                 std::string_view label);
 
+/// Same, with counter tracks appended after the slices and flows.  An
+/// empty `counters` produces byte-identical output to the two-argument
+/// overload (the golden trace depends on that).
+std::string perfetto_trace_json(const std::vector<trace_event>& events,
+                                std::string_view label,
+                                const std::vector<counter_series>& counters);
+
 /// Same, streamed to `os`.
 void write_perfetto_trace(std::ostream& os,
                           const std::vector<trace_event>& events,
                           std::string_view label);
+void write_perfetto_trace(std::ostream& os,
+                          const std::vector<trace_event>& events,
+                          std::string_view label,
+                          const std::vector<counter_series>& counters);
+
+/// Counter tracks from an armed series sampler (telemetry/timeseries.h):
+/// gauge columns export as-is; cumulative "sent.*" and "arq.retransmits"
+/// columns export as per-sample deltas so outage dips and retransmit
+/// storms are visible directly on the track.
+std::vector<counter_series> counter_tracks(const series_sampler& sampler);
 
 }  // namespace asyncrd::telemetry

@@ -6,6 +6,9 @@ namespace asyncrd::telemetry {
 
 void run_report::write_json(json_writer& w) const {
   w.begin_object();
+  // Schema version first: validators reject unknown versions before
+  // looking at anything else (json_check --report does).
+  w.kv("report_version", report_version);
   w.kv("label", label);
   w.kv("variant", variant);
   w.kv("seed", seed);
@@ -52,6 +55,41 @@ void run_report::write_json(json_writer& w) const {
   w.kv("timer_fires", chaos.timer_fires);
   w.kv("rto_backoffs", chaos.rto_backoffs);
   w.kv("max_rto", chaos.max_rto);
+  w.end_object();
+
+  w.key("series").begin_object();
+  w.kv("interval", series.interval);
+  w.kv("stride", series.stride);
+  w.kv("recorded", series.recorded);
+  w.key("t").begin_array();
+  for (const std::uint64_t t : series.t) w.value(t);
+  w.end_array();
+  w.key("cols").begin_object();
+  for (const auto& [name, values] : series.cols) {
+    w.key(name).begin_array();
+    for (const std::uint64_t v : values) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+
+  w.key("watchdog").begin_object();
+  w.kv("armed", watchdog.armed);
+  w.kv("window", watchdog.window);
+  w.kv("probe_interval", watchdog.probe_interval);
+  w.kv("abort_on_trip", watchdog.abort_on_trip);
+  w.key("trips").begin_array();
+  for (const watchdog_trip& t : watchdog.trips) {
+    w.begin_object();
+    w.kv("at", t.at);
+    w.kv("last_progress_at", t.last_progress_at);
+    w.kv("in_flight", t.in_flight);
+    w.kv("arq_outstanding", t.arq_outstanding);
+    w.kv("app_deliveries", t.app_deliveries);
+    w.kv("merges", t.merges);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 
   w.key("transitions").begin_object();
@@ -143,22 +181,59 @@ void run_recorder::metrics_observer::on_wake(sim::sim_time, node_id) {
   wakes_->inc();
 }
 
-run_recorder::run_recorder(core::discovery_run& run)
+run_recorder::run_recorder(core::discovery_run& run, recorder_options opts)
     : run_(&run), metrics_obs_(metrics_) {
   load_.reserve_dense(run.net().node_count());
   run_->net().add_observer(&load_);
   run_->net().add_observer(&metrics_obs_);
   run_->set_trace(&transitions_);
+  if (opts.series_interval > 0) {
+    series_sampler_config scfg;
+    scfg.interval = opts.series_interval;
+    scfg.capacity = opts.series_capacity;
+    sampler_ = std::make_unique<series_sampler>(run, scfg);
+    run_->net().add_health_probe(sampler_.get(), opts.series_interval);
+  }
+  if (opts.watchdog.window > 0) {
+    watchdog_ = std::make_unique<stall_watchdog>(run, opts.watchdog);
+    run_->net().add_health_probe(watchdog_.get(),
+                                 watchdog_->config().probe_interval);
+  }
+  if (opts.flight_capacity > 0) {
+    flight_ = std::make_unique<sim::flight_recorder>(opts.flight_capacity);
+    run_->net().set_flight_recorder(flight_.get());
+  }
 }
 
 run_recorder::~run_recorder() {
+  if (flight_ != nullptr && run_->net().flight() == flight_.get())
+    run_->net().set_flight_recorder(nullptr);
+  if (watchdog_ != nullptr) run_->net().remove_health_probe(watchdog_.get());
+  if (sampler_ != nullptr) run_->net().remove_health_probe(sampler_.get());
   run_->net().remove_observer(&metrics_obs_);
   run_->net().remove_observer(&load_);
   run_->set_trace(nullptr);
 }
 
 run_report run_recorder::report(const sim::run_result& result) const {
-  return collect_run_report(*run_, result, &load_, &transitions_);
+  run_report rep = collect_run_report(*run_, result, &load_, &transitions_);
+  if (sampler_ != nullptr) {
+    rep.series.interval = sampler_->interval();
+    const series_frame& f = sampler_->frame();
+    rep.series.stride = f.stride();
+    rep.series.recorded = f.recorded();
+    rep.series.t = f.times();
+    for (std::uint32_t i = 0; i < f.columns(); ++i)
+      rep.series.cols.emplace_back(f.column_name(i), f.column(i));
+  }
+  if (watchdog_ != nullptr) {
+    rep.watchdog.armed = true;
+    rep.watchdog.window = watchdog_->config().window;
+    rep.watchdog.probe_interval = watchdog_->config().probe_interval;
+    rep.watchdog.abort_on_trip = watchdog_->config().abort_on_trip;
+    rep.watchdog.trips = watchdog_->trips();
+  }
+  return rep;
 }
 
 }  // namespace asyncrd::telemetry

@@ -21,21 +21,34 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/ids.h"
 #include "core/runner.h"
 #include "core/trace.h"
 #include "sim/load_observer.h"
 #include "sim/stats.h"
+#include "telemetry/health.h"
 #include "telemetry/histogram.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
 
 namespace asyncrd::telemetry {
 
 class json_writer;
 
 struct run_report {
+  /// Schema version of the JSON serialization, written as the FIRST key of
+  /// the document so validators can reject unknown schemas before diffing
+  /// anything else.  Bump when keys change meaning or shape:
+  ///   1 — PRs 1-5 (implicit; no version field)
+  ///   2 — this layout: adds report_version, "series", "watchdog"
+  static constexpr std::uint64_t current_version = 2;
+  std::uint64_t report_version = current_version;
+
   // --- caller-supplied context -----------------------------------------
   std::string label;    ///< what was run (bench name, experiment id)
   std::string variant;  ///< algorithm variant name, if applicable
@@ -83,6 +96,30 @@ struct run_report {
   };
   chaos_report chaos;
 
+  /// Time-series progress snapshots (telemetry/timeseries.h).  Always
+  /// serialized — interval == 0 with empty columns on a run without a
+  /// sampler — so report diffs line up, like chaos.
+  struct series_report {
+    sim::sim_time interval = 0;  ///< 0 = sampler was not armed
+    std::uint64_t stride = 1;
+    std::uint64_t recorded = 0;
+    std::vector<std::uint64_t> t;  ///< sample times, strictly increasing
+    /// Column name -> per-sample values, one entry per t (insertion order).
+    std::vector<std::pair<std::string, std::vector<std::uint64_t>>> cols;
+  };
+  series_report series;
+
+  /// Stall-watchdog verdict (telemetry/health.h).  Always serialized;
+  /// armed == false with no trips on a run without a watchdog.
+  struct watchdog_report {
+    bool armed = false;
+    sim::sim_time window = 0;
+    sim::sim_time probe_interval = 0;
+    bool abort_on_trip = false;
+    std::vector<watchdog_trip> trips;
+  };
+  watchdog_report watchdog;
+
   /// State-transition multiplicities, "explore -> wait" style keys.
   std::map<std::string, std::uint64_t> transitions;
 
@@ -102,12 +139,29 @@ run_report collect_run_report(const core::discovery_run& run,
                               const core::transition_recorder* transitions =
                                   nullptr);
 
+/// Runtime-health arming knobs for run_recorder.  Defaults keep everything
+/// off, preserving the recorder's zero-surprise cost profile; benches and
+/// the CLI opt in per flag.
+struct recorder_options {
+  /// Virtual-time sampling interval for the progress series; 0 = no
+  /// sampler.
+  sim::sim_time series_interval = 0;
+  /// Retained samples per series column before resolution halves.
+  std::size_t series_capacity = 512;
+  /// Stall watchdog; window == 0 leaves it disarmed.
+  watchdog_config watchdog;
+  /// Flight-recorder ring size (last K dispatched events); 0 = none.
+  std::size_t flight_capacity = 0;
+};
+
 /// Arms a load observer, a transition recorder, and a metrics registry on a
-/// discovery_run in one shot (via the network's multi-observer), and builds
-/// the report afterwards.  Detaches everything on destruction.
+/// discovery_run in one shot (via the network's multi-observer) — plus,
+/// when the options ask for them, the series sampler, stall watchdog, and
+/// flight recorder — and builds the report afterwards.  Detaches everything
+/// on destruction.
 class run_recorder {
  public:
-  explicit run_recorder(core::discovery_run& run);
+  explicit run_recorder(core::discovery_run& run, recorder_options opts = {});
   ~run_recorder();
 
   run_recorder(const run_recorder&) = delete;
@@ -120,6 +174,11 @@ class run_recorder {
     return transitions_;
   }
   registry& metrics() noexcept { return metrics_; }
+
+  /// Armed health instruments; nullptr when the options left them off.
+  const series_sampler* sampler() const noexcept { return sampler_.get(); }
+  const stall_watchdog* watchdog() const noexcept { return watchdog_.get(); }
+  const sim::flight_recorder* flight() const noexcept { return flight_.get(); }
 
  private:
   /// Feeds the metrics registry from network events.
@@ -142,6 +201,9 @@ class run_recorder {
   core::transition_recorder transitions_;
   registry metrics_;
   metrics_observer metrics_obs_;
+  std::unique_ptr<series_sampler> sampler_;
+  std::unique_ptr<stall_watchdog> watchdog_;
+  std::unique_ptr<sim::flight_recorder> flight_;
 };
 
 }  // namespace asyncrd::telemetry

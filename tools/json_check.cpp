@@ -4,10 +4,15 @@
 //                                 keys {bench, ok, wall_ms, n_values,
 //                                 measured, predicted_bound,
 //                                 messages_by_type}
-//   json_check --report FILE...   each FILE must be a run report with the
-//                                 keys {label, variant, nodes,
+//   json_check --report FILE...   each FILE must be a run report:
+//                                 report_version must be a known version,
+//                                 required keys {label, variant, nodes,
 //                                 total_messages, messages_by_type, wall_ms,
-//                                 load, transitions}
+//                                 load, chaos, series, watchdog,
+//                                 transitions}; "series" sample times must
+//                                 be strictly increasing and every column
+//                                 must match their length; "watchdog" must
+//                                 carry an "armed" bool and a "trips" array
 //   json_check --trace FILE...    each FILE must be a Chrome trace-event /
 //                                 Perfetto trace (discovery_cli --trace):
 //                                 top-level {traceEvents, displayTimeUnit},
@@ -16,9 +21,17 @@
 //
 // Every failure names the offending byte offset: parse errors carry the
 // parser's position, semantic errors the offset of the bad (sub)value.
-// Exit 0 iff every file validates.  CI runs this over the bench-smoke and
-// trace outputs; ctest runs it over discovery_cli emissions (see
-// tests/CMakeLists.txt).
+//
+// Exit codes (documented in --help):
+//   0  every file validates
+//   2  usage error
+//   3  I/O error (a file could not be opened/read)
+//   4  parse error (a file is not JSON)
+//   5  schema violation (valid JSON, wrong shape/version)
+// With several failing files the exit code is the first failure's; every
+// file is still checked and reported.  CI runs this over the bench-smoke,
+// run-report, and trace outputs; ctest runs it over discovery_cli
+// emissions (see tests/CMakeLists.txt).
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -33,13 +46,25 @@ namespace {
 using asyncrd::telemetry::json_parse;
 using asyncrd::telemetry::json_value;
 
+// Exit codes (also the per-file failure classification).
+constexpr int exit_ok = 0;
+constexpr int exit_usage = 2;
+constexpr int exit_io = 3;
+constexpr int exit_parse = 4;
+constexpr int exit_schema = 5;
+
+/// Report schema versions this binary understands.
+constexpr std::uint64_t min_report_version = 2;
+constexpr std::uint64_t max_report_version = 2;
+
 const std::vector<std::string> bench_keys = {
     "bench",    "ok",       "wall_ms",         "n_values",
     "measured", "predicted_bound", "messages_by_type"};
 
 const std::vector<std::string> report_keys = {
-    "label",          "variant", "nodes",   "total_messages",
-    "messages_by_type", "wall_ms", "load",  "chaos", "transitions"};
+    "label",    "variant",  "nodes", "total_messages", "messages_by_type",
+    "wall_ms",  "load",     "chaos", "series",         "watchdog",
+    "transitions"};
 
 bool complain(const std::string& path, std::size_t offset,
               const std::string& what) {
@@ -54,6 +79,109 @@ bool check_keys(const std::string& path, const json_value& doc,
     if (doc.find(k) == nullptr)
       ok = complain(path, doc.offset, "missing required key \"" + k + "\"");
   }
+  return ok;
+}
+
+/// report_version must be present, integral, and a version this binary
+/// knows — otherwise a schema change would silently diff wrong.
+bool check_report_version(const std::string& path, const json_value& doc) {
+  const json_value* v = doc.find("report_version");
+  if (v == nullptr)
+    return complain(path, doc.offset, "missing required key \"report_version\"");
+  if (!v->is_number())
+    return complain(path, v->offset, "\"report_version\" is not a number");
+  const double raw = v->as_number();
+  const auto ver = static_cast<std::uint64_t>(raw);
+  if (raw != static_cast<double>(ver))
+    return complain(path, v->offset, "\"report_version\" is not an integer");
+  if (ver < min_report_version || ver > max_report_version)
+    return complain(path, v->offset,
+                    "unknown report_version " + std::to_string(ver) +
+                        " (this validator understands " +
+                        std::to_string(min_report_version) + ".." +
+                        std::to_string(max_report_version) + ")");
+  return true;
+}
+
+/// "series": {"interval", "stride", "recorded", "t": [...], "cols": {...}}
+/// with strictly increasing sample times and every column as long as t.
+bool check_series(const std::string& path, const json_value& series) {
+  if (!series.is_object())
+    return complain(path, series.offset, "\"series\" is not an object");
+  bool ok = true;
+  for (const char* k : {"interval", "stride", "recorded"}) {
+    const json_value* v = series.find(k);
+    if (v == nullptr || !v->is_number())
+      ok = complain(path, series.offset,
+                    "series missing numeric \"" + std::string(k) + "\"");
+  }
+  const json_value* t = series.find("t");
+  if (t == nullptr || !t->is_array())
+    return complain(path, series.offset, "series missing \"t\" array");
+  double prev = -1.0;
+  for (const json_value& v : t->as_array()) {
+    if (!v.is_number())
+      return complain(path, v.offset, "series time is not a number");
+    if (v.as_number() <= prev)
+      ok = complain(path, v.offset, "series times are not strictly increasing");
+    prev = v.as_number();
+  }
+  const json_value* cols = series.find("cols");
+  if (cols == nullptr || !cols->is_object())
+    return complain(path, series.offset, "series missing \"cols\" object");
+  const std::size_t n = t->as_array().size();
+  for (const auto& [name, col] : cols->as_object()) {
+    if (!col.is_array()) {
+      ok = complain(path, col.offset,
+                    "series column \"" + name + "\" is not an array");
+      continue;
+    }
+    if (col.as_array().size() != n)
+      ok = complain(path, col.offset,
+                    "series column \"" + name + "\" has " +
+                        std::to_string(col.as_array().size()) +
+                        " values for " + std::to_string(n) + " sample times");
+  }
+  return ok;
+}
+
+/// "watchdog": {"armed": bool, "window", "trips": [{...}, ...]}
+bool check_watchdog(const std::string& path, const json_value& wd) {
+  if (!wd.is_object())
+    return complain(path, wd.offset, "\"watchdog\" is not an object");
+  bool ok = true;
+  const json_value* armed = wd.find("armed");
+  if (armed == nullptr || !armed->is_bool())
+    ok = complain(path, wd.offset, "watchdog missing \"armed\" bool");
+  if (const json_value* v = wd.find("window"); v == nullptr || !v->is_number())
+    ok = complain(path, wd.offset, "watchdog missing numeric \"window\"");
+  const json_value* trips = wd.find("trips");
+  if (trips == nullptr || !trips->is_array())
+    return complain(path, wd.offset, "watchdog missing \"trips\" array");
+  for (const json_value& trip : trips->as_array()) {
+    if (!trip.is_object()) {
+      ok = complain(path, trip.offset, "watchdog trip is not an object");
+      continue;
+    }
+    for (const char* k : {"at", "last_progress_at", "in_flight",
+                          "arq_outstanding"}) {
+      const json_value* v = trip.find(k);
+      if (v == nullptr || !v->is_number())
+        ok = complain(path, trip.offset,
+                      "watchdog trip missing numeric \"" + std::string(k) +
+                          "\"");
+    }
+  }
+  return ok;
+}
+
+bool check_report(const std::string& path, const json_value& doc) {
+  bool ok = check_report_version(path, doc);
+  ok = check_keys(path, doc, report_keys) && ok;
+  if (const json_value* series = doc.find("series"))
+    ok = check_series(path, *series) && ok;
+  if (const json_value* wd = doc.find("watchdog"))
+    ok = check_watchdog(path, *wd) && ok;
   return ok;
 }
 
@@ -99,6 +227,13 @@ bool check_trace_event(const std::string& path, const json_value& ev,
     } else {
       open_flows[id->as_number()] += phase == "s" ? 1 : -1;
     }
+  } else if (phase == "C") {
+    // Counter track sample (runtime health series): value in args.
+    if (const json_value* args = ev.find("args");
+        args == nullptr || !args->is_object() ||
+        args->find("value") == nullptr)
+      ok = complain(path, ev.offset,
+                    where + " counter missing args.\"value\"");
   }
   return ok;
 }
@@ -124,30 +259,59 @@ bool check_trace(const std::string& path, const json_value& doc) {
 
 enum class mode { bench, report, trace };
 
-bool check_file(const std::string& path, mode m) {
+/// Returns an exit_* classification for one file (exit_ok on success).
+int check_file(const std::string& path, mode m) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << path << ": cannot open\n";
-    return false;
+    return exit_io;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    std::cerr << path << ": read error\n";
+    return exit_io;
+  }
   std::string err;
   const auto doc = json_parse(buf.str(), &err);
   if (!doc.has_value()) {
     std::cerr << path << ": parse error: " << err << '\n';
-    return false;
+    return exit_parse;
   }
-  if (!doc->is_object())
-    return complain(path, doc->offset, "top-level value is not an object");
+  if (!doc->is_object()) {
+    complain(path, doc->offset, "top-level value is not an object");
+    return exit_schema;
+  }
   bool ok = true;
   switch (m) {
     case mode::bench: ok = check_keys(path, *doc, bench_keys); break;
-    case mode::report: ok = check_keys(path, *doc, report_keys); break;
+    case mode::report: ok = check_report(path, *doc); break;
     case mode::trace: ok = check_trace(path, *doc); break;
   }
   if (ok) std::cout << path << ": OK\n";
-  return ok;
+  return ok ? exit_ok : exit_schema;
+}
+
+void print_help(std::ostream& os) {
+  os << "usage: json_check [--report|--bench|--trace] FILE...\n"
+        "\n"
+        "Validates telemetry JSON (see docs/OBSERVABILITY.md):\n"
+        "  --bench   bench reports (default): required key set\n"
+        "  --report  run reports: known report_version, required keys,\n"
+        "            series sample times strictly increasing with\n"
+        "            equal-length columns, watchdog shape\n"
+        "  --trace   Chrome trace-event / Perfetto traces: well-formed\n"
+        "            events, balanced s/f flow pairs, counter values\n"
+        "\n"
+        "exit codes:\n"
+        "  0  every file validates\n"
+        "  2  usage error\n"
+        "  3  I/O error (file unreadable)\n"
+        "  4  parse error (not JSON)\n"
+        "  5  schema violation (valid JSON, wrong shape or unknown\n"
+        "     report_version)\n"
+        "With several failing files, the exit code is the first failure's;\n"
+        "every file is checked and reported either way.\n";
 }
 
 }  // namespace
@@ -163,15 +327,25 @@ int main(int argc, char** argv) {
       m = mode::bench;
     } else if (a == "--trace") {
       m = mode::trace;
+    } else if (a == "--help" || a == "-h") {
+      print_help(std::cout);
+      return exit_ok;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "json_check: unknown option " << a << '\n';
+      print_help(std::cerr);
+      return exit_usage;
     } else {
       files.push_back(a);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: json_check [--report|--bench|--trace] FILE...\n";
-    return 2;
+    print_help(std::cerr);
+    return exit_usage;
   }
-  bool all_ok = true;
-  for (const std::string& f : files) all_ok = check_file(f, m) && all_ok;
-  return all_ok ? 0 : 1;
+  int first_failure = exit_ok;
+  for (const std::string& f : files) {
+    const int code = check_file(f, m);
+    if (code != exit_ok && first_failure == exit_ok) first_failure = code;
+  }
+  return first_failure;
 }

@@ -4,6 +4,11 @@
 //   trace_analyze [options] FILE...
 //     --path-lines N   print at most N hops of the critical path (default 24)
 //     --quiet          summary lines only (no per-hop path listing)
+//     --flight         FILEs are flight-recorder dumps (the last-K-events
+//                      ring the runtime health layer writes on a watchdog
+//                      trip or checker violation), not causal traces:
+//                      prints the event mix, the tail of the ring, and the
+//                      cause chain ending at the final event
 //
 // The trace is self-contained: every 'X' slice carries its causal record
 // (id, cause, release, lamport) in "args", so the genealogy is rebuilt from
@@ -182,31 +187,186 @@ bool analyze(const std::string& path, std::size_t path_lines, bool quiet) {
   return true;
 }
 
+/// One entry of a flight-recorder dump, as parsed back from the JSON.
+struct flight_row {
+  std::uint64_t at = 0;
+  std::string kind;           // "wake" / "deliver" / "timer"
+  std::string type;           // deliver only: dispatch-tag name
+  std::uint64_t from = 0, to = 0, node = 0;
+  std::uint64_t id = trace_none;     // absent key == none
+  std::uint64_t cause = trace_none;  // absent key == none
+};
+
+void print_flight_row(const flight_row& r) {
+  std::cout << "  t=" << r.at << ' ';
+  if (r.kind == "wake")
+    std::cout << "wake    " << r.node;
+  else if (r.kind == "deliver")
+    std::cout << "deliver " << r.from << " -> " << r.to << ' ' << r.type;
+  else
+    std::cout << "timer   key=" << r.cause;
+  if (r.id != trace_none) std::cout << "  id=" << r.id;
+  if (r.kind != "timer" && r.cause != trace_none)
+    std::cout << " cause=" << r.cause;
+  std::cout << '\n';
+}
+
+/// Summarizes a flight-recorder dump: header counters, per-kind/per-type
+/// event mix, the tail of the ring, and the cause chain that produced the
+/// final event — the postmortem view of "what was the run doing when it
+/// died".  Exit-0 criterion: the file parses and matches the flight schema.
+bool analyze_flight(const std::string& path, std::size_t path_lines,
+                    bool quiet) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = json_parse(buf.str(), &err);
+  if (!doc.has_value()) {
+    std::cerr << path << ": parse error: " << err << '\n';
+    return false;
+  }
+  const json_value* dump_kind = doc->find("kind");
+  if (dump_kind == nullptr || !dump_kind->is_string() ||
+      dump_kind->as_string() != "flight") {
+    std::cerr << path << ": not a flight dump (\"kind\" != \"flight\", at byte "
+              << doc->offset << ")\n";
+    return false;
+  }
+  const json_value* evs = doc->find("events");
+  if (evs == nullptr || !evs->is_array()) {
+    std::cerr << path << ": no \"events\" array (at byte " << doc->offset
+              << ")\n";
+    return false;
+  }
+
+  std::vector<flight_row> rows;
+  rows.reserve(evs->as_array().size());
+  std::uint64_t prev_at = 0;
+  std::unordered_map<std::string, std::uint64_t> by_kind, by_type;
+  for (const json_value& ev : evs->as_array()) {
+    const json_value* k = ev.find("kind");
+    if (!ev.is_object() || k == nullptr || !k->is_string()) {
+      std::cerr << path << ": event without \"kind\" (at byte " << ev.offset
+                << ")\n";
+      return false;
+    }
+    flight_row r;
+    r.kind = k->as_string();
+    r.at = num_or(ev, "at", 0);
+    if (r.at < prev_at) {
+      std::cerr << path << ": events out of time order (at byte " << ev.offset
+                << ")\n";
+      return false;
+    }
+    prev_at = r.at;
+    r.id = num_or(ev, "id", trace_none);
+    r.cause = num_or(ev, "cause", trace_none);
+    if (r.kind == "deliver") {
+      r.from = num_or(ev, "from", 0);
+      r.to = num_or(ev, "to", 0);
+      if (const json_value* t = ev.find("type"); t != nullptr && t->is_string())
+        r.type = t->as_string();
+      ++by_type[r.type];
+    } else if (r.kind == "wake") {
+      r.node = num_or(ev, "node", 0);
+    } else if (r.kind == "timer") {
+      r.cause = num_or(ev, "key", trace_none);
+    } else {
+      std::cerr << path << ": unknown event kind \"" << r.kind
+                << "\" (at byte " << ev.offset << ")\n";
+      return false;
+    }
+    ++by_kind[r.kind];
+    rows.push_back(std::move(r));
+  }
+
+  std::cout << "== " << path << " (flight dump) ==\n";
+  std::cout << "ring: " << num_or(*doc, "recorded", rows.size()) << "/"
+            << num_or(*doc, "capacity", 0) << " events, "
+            << num_or(*doc, "dropped", 0) << " older events dropped\n";
+  if (rows.empty()) {
+    std::cout << "(empty ring)\n";
+    return true;
+  }
+  std::cout << "window: t=" << rows.front().at << " .. t=" << rows.back().at
+            << '\n';
+  std::cout << "by kind:";
+  for (const auto& [k, n] : by_kind) std::cout << "  " << k << "=" << n;
+  std::cout << '\n';
+  if (!by_type.empty()) {
+    std::cout << "deliveries by type:";
+    for (const auto& [t, n] : by_type) std::cout << "  " << t << "=" << n;
+    std::cout << '\n';
+  }
+  if (quiet) return true;
+
+  const std::size_t tail = std::min(path_lines, rows.size());
+  std::cout << "last " << tail << " events:\n";
+  for (std::size_t i = rows.size() - tail; i < rows.size(); ++i)
+    print_flight_row(rows[i]);
+
+  // Walk the cause chain backwards from the final event: which activation
+  // genealogy was still live when the recorder stopped.  Ids reference the
+  // causal tracer's id space, so ancestors older than the ring are simply
+  // absent — the chain ends where the ring's memory does.
+  std::unordered_map<std::uint64_t, const flight_row*> by_id;
+  for (const flight_row& r : rows)
+    if (r.id != trace_none) by_id.emplace(r.id, &r);
+  const flight_row* cur = &rows.back();
+  std::size_t hops = 0;
+  std::cout << "cause chain from final event:\n";
+  print_flight_row(*cur);
+  while (cur->kind != "timer" && cur->cause != trace_none &&
+         hops < path_lines) {
+    const auto it = by_id.find(cur->cause);
+    if (it == by_id.end()) {
+      std::cout << "  (cause " << cur->cause << " older than the ring)\n";
+      break;
+    }
+    cur = it->second;
+    print_flight_row(*cur);
+    ++hops;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t path_lines = 24;
   bool quiet = false;
+  bool flight = false;
   std::vector<std::string> files;
+  constexpr const char* usage =
+      "usage: trace_analyze [--path-lines N] [--quiet] [--flight] FILE...\n";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--path-lines" && i + 1 < argc) {
       path_lines = std::stoull(argv[++i]);
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--flight") {
+      flight = true;
     } else if (!a.empty() && a[0] == '-') {
-      std::cerr << "usage: trace_analyze [--path-lines N] [--quiet] FILE...\n";
+      std::cerr << usage;
       return 2;
     } else {
       files.push_back(a);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: trace_analyze [--path-lines N] [--quiet] FILE...\n";
+    std::cerr << usage;
     return 2;
   }
   bool all_ok = true;
   for (const std::string& f : files)
-    all_ok = analyze(f, path_lines, quiet) && all_ok;
+    all_ok = (flight ? analyze_flight(f, path_lines, quiet)
+                     : analyze(f, path_lines, quiet)) &&
+             all_ok;
   return all_ok ? 0 : 1;
 }
