@@ -3,21 +3,31 @@
 // throughput on the headline 10k-node unit-delay run (the same
 // configuration bench_sim_throughput's acceptance number is phrased in).
 //
-// Three modes, best-of-N events/sec each:
+// Four modes, best-of-N events/sec each:
 //
 //   plain     no telemetry at all (bench_sim_throughput's measurement);
 //   recorder  run_recorder with default options — the pre-existing
 //             load/metrics/transition observers, health layer disarmed;
 //   armed     run_recorder with the series sampler (interval 256, ~130
 //             samples over the run), the stall watchdog (window 4096,
-//             probing every 1024 ticks), and a 4096-entry flight recorder.
+//             probing every 1024 ticks), and a 4096-entry flight recorder;
+//   profiled  run_recorder with the hot-path cost profiler armed
+//             (sim/profiler.h) and nothing else, isolating what the phase
+//             attribution itself costs.
 //
-// The acceptance criterion is armed-vs-recorder: the health layer must
-// cost < 5% of event throughput on top of the telemetry that was already
-// there.  "measured" in the JSON is that overhead fraction,
-// "predicted_bound" is 0.05, and ok requires measured < bound with every
-// run completing and the watchdog never tripping.
+// Two acceptance criteria, both < 5%: armed-vs-recorder (the health layer
+// on top of the telemetry that was already there) and
+// profiled-vs-recorder (the cost profiler's begin/end brackets).  Each
+// overhead is the median of per-cycle ratios (the modes interleave
+// round-robin, so the pair in a cycle shares the host's speed epoch);
+// the table still shows best-of-N events/sec per mode.
+// "measured" in the JSON is the overhead fraction, "predicted_bound" is
+// 0.05, and ok additionally requires every run completing, the watchdog
+// never tripping, and the profiler attributing a sane fraction of the
+// event loop (0 < attributed <= 1).
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_report.h"
 #include "common/table.h"
@@ -32,14 +42,19 @@ int main(int argc, char** argv) {
   bench::reporter rep("observer_overhead", argc, argv);
 
   constexpr double bound = 0.05;
-  constexpr int reps = 5;
+  // Best-of-9: the overhead estimate is a ratio of two best-of-N minima,
+  // and on shared hosts a mode can lose every one of a handful of slots to
+  // a noisy neighbor; more interleaved reps give each mode a quiet slot.
+  constexpr int reps = 9;
   const auto g = graph::random_weakly_connected(10000, 10000, 42);
 
-  enum class mode { plain, recorder, armed };
+  enum class mode { plain, recorder, armed, profiled };
   struct outcome {
     double best_eps = 0.0;
+    std::vector<double> eps;  ///< per-rep events/sec, one per cycle
     std::uint64_t events = 0;
     double wall_ms = 0.0;
+    double attributed = 0.0;  ///< profiled: fraction of the loop explained
     bool ok = true;
   };
 
@@ -57,6 +72,7 @@ int main(int argc, char** argv) {
         opts.watchdog.probe_interval = 1024;
         opts.flight_capacity = 4096;
       }
+      if (m == mode::profiled) opts.profile = true;
       rec = std::make_unique<telemetry::run_recorder>(run, opts);
     }
     run.wake_all();
@@ -64,7 +80,16 @@ int main(int argc, char** argv) {
     o.ok = o.ok && r.completed;
     if (rec != nullptr && rec->watchdog() != nullptr)
       o.ok = o.ok && !rec->watchdog()->tripped();
+    if (rec != nullptr && rec->profiler() != nullptr) {
+      const sim::cost_profiler& prof = *rec->profiler();
+      o.attributed = prof.sampled_span_ticks() == 0
+                         ? 0.0
+                         : static_cast<double>(prof.attributed_ticks()) /
+                               static_cast<double>(prof.sampled_span_ticks());
+      o.ok = o.ok && o.attributed > 0.0 && o.attributed <= 1.0;
+    }
     const sim::run_timing& timing = run.net().timing();
+    o.eps.push_back(timing.events_per_sec());
     if (timing.events_per_sec() > o.best_eps) {
       o.best_eps = timing.events_per_sec();
       o.events = timing.events;
@@ -78,17 +103,30 @@ int main(int argc, char** argv) {
   // per-mode blocks, so a slow host phase (frequency scaling, a noisy
   // neighbor) degrades every mode's sample set equally instead of landing
   // entirely on one mode and fabricating an overhead.
-  outcome plain, recorder, armed;
+  outcome plain, recorder, armed, profiled;
   for (int i = 0; i < reps; ++i) {
     run_once(mode::plain, plain, i == 0);
     run_once(mode::recorder, recorder, false);
     run_once(mode::armed, armed, false);
+    run_once(mode::profiled, profiled, false);
   }
 
+  // Overhead per interleaved cycle (base and instrumented ran back to back,
+  // so they share the host's speed epoch), then the median across cycles —
+  // far more stable on shared hosts than a ratio of two best-of-N minima,
+  // where one mode can lose every slot to a noisy neighbor.
   const auto overhead = [](const outcome& base, const outcome& inst) {
-    return base.best_eps > 0.0 ? 1.0 - inst.best_eps / base.best_eps : 1.0;
+    std::vector<double> per_cycle;
+    for (std::size_t i = 0; i < base.eps.size() && i < inst.eps.size(); ++i)
+      if (base.eps[i] > 0.0) per_cycle.push_back(1.0 - inst.eps[i] / base.eps[i]);
+    if (per_cycle.empty()) return 1.0;
+    std::sort(per_cycle.begin(), per_cycle.end());
+    const std::size_t n = per_cycle.size();
+    return n % 2 == 1 ? per_cycle[n / 2]
+                      : 0.5 * (per_cycle[n / 2 - 1] + per_cycle[n / 2]);
   };
   const double health_overhead = overhead(recorder, armed);
+  const double profile_overhead = overhead(recorder, profiled);
   const double total_overhead = overhead(plain, armed);
 
   text_table t({"mode", "events", "wall_ms", "events/sec", "overhead"});
@@ -99,18 +137,28 @@ int main(int argc, char** argv) {
              fmt_double(overhead(plain, recorder))});
   t.add_row({"armed", std::to_string(armed.events), fmt_double(armed.wall_ms),
              fmt_double(armed.best_eps), fmt_double(total_overhead)});
+  t.add_row({"profiled", std::to_string(profiled.events),
+             fmt_double(profiled.wall_ms), fmt_double(profiled.best_eps),
+             fmt_double(profile_overhead)});
   t.print(std::cout);
 
   rep.add("health_overhead_vs_recorder", 10000.0, health_overhead, bound);
+  rep.add("profile_overhead_vs_recorder", 10000.0, profile_overhead, bound);
   rep.add("events_per_sec_plain", 10000.0, plain.best_eps, 0.0);
   rep.add("events_per_sec_recorder", 10000.0, recorder.best_eps, 0.0);
   rep.add("events_per_sec_armed", 10000.0, armed.best_eps, 0.0);
+  rep.add("events_per_sec_profiled", 10000.0, profiled.best_eps, 0.0);
   rep.note("total_overhead_vs_plain", total_overhead);
+  rep.note("profile_attributed_fraction", profiled.attributed);
 
-  const bool all_ok = plain.ok && recorder.ok && armed.ok &&
-                      health_overhead < bound;
+  const bool all_ok = plain.ok && recorder.ok && armed.ok && profiled.ok &&
+                      health_overhead < bound && profile_overhead < bound;
   std::cout << "\nhealth layer overhead (armed vs recorder): "
             << health_overhead * 100.0 << "% (bound " << bound * 100.0
             << "%)\n";
+  std::cout << "cost profiler overhead (profiled vs recorder): "
+            << profile_overhead * 100.0 << "% (bound " << bound * 100.0
+            << "%), attributing " << profiled.attributed * 100.0
+            << "% of the event loop\n";
   return rep.finish(all_ok);
 }

@@ -21,17 +21,47 @@
 //   --no-json       skip the JSON file entirely
 #pragma once
 
+#include <unistd.h>
+
 #include <chrono>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/version.h"
 #include "sim/stats.h"
 #include "telemetry/json.h"
 
 namespace asyncrd::bench {
+
+/// Schema version of the provenance block itself (bumped independently of
+/// any one bench's row layout).
+inline constexpr std::uint64_t provenance_schema = 1;
+
+/// The machine's hostname, or "unknown".
+inline std::string bench_host() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] == '\0' ? "unknown" : std::string(buf);
+}
+
+/// Writes the shared "provenance" member every BENCH_*.json carries: which
+/// code, build, and machine produced the numbers.  Emitted from here — not
+/// per-bench — so json_check can validate one shape and bench_diff can
+/// explain "the compiler changed" differences.  Call between a key-less
+/// point of an open object.
+inline void write_provenance(telemetry::json_writer& w) {
+  w.key("provenance").begin_object();
+  w.kv("schema", provenance_schema);
+  w.kv("git_sha", asyncrd::build_git_sha);
+  w.kv("build_type", asyncrd::build_type);
+  w.kv("compiler", asyncrd::build_compiler);
+  w.kv("host", bench_host());
+  w.end_object();
+}
 
 class reporter {
  public:
@@ -71,6 +101,13 @@ class reporter {
   /// Attaches a free-form scalar (appears under "notes").
   void note(std::string key, double value) { notes_[std::move(key)] = value; }
 
+  /// Extension hook: called with the writer while the top-level object is
+  /// open, right before "notes" — emit extra members (trace_analyze adds
+  /// its width-histogram block this way).
+  void set_extra(std::function<void(telemetry::json_writer&)> fn) {
+    extra_ = std::move(fn);
+  }
+
   /// Writes the JSON file (unless --no-json) and returns the process exit
   /// code: 0 when ok and the write succeeded, 1 otherwise.
   int finish(bool ok) {
@@ -84,6 +121,7 @@ class reporter {
     w.kv("bench", name_);
     w.kv("ok", ok);
     w.kv("wall_ms", wall_ms);
+    write_provenance(w);
 
     // Columnar views (what regression tooling plots) ...
     w.key("labels").begin_array();
@@ -120,6 +158,8 @@ class reporter {
     }
     w.end_object();
 
+    if (extra_) extra_(w);
+
     w.key("notes").begin_object();
     for (const auto& [k, v] : notes_) w.kv(k, v);
     w.end_object();
@@ -150,6 +190,7 @@ class reporter {
   std::vector<row> rows_;
   std::map<std::string, sim::type_stats, std::less<>> by_type_;
   std::map<std::string, double> notes_;
+  std::function<void(telemetry::json_writer&)> extra_;
 };
 
 }  // namespace asyncrd::bench

@@ -23,6 +23,9 @@
 //     --flight PATH     keep a flight recorder armed and write the last-K
 //                       scheduler events to PATH at exit (the postmortem
 //                       ring; read it with trace_analyze --flight)
+//     --profile         arm the hot-path cost profiler: where the event
+//                       loop's cycles go, by phase and message type (adds
+//                       a "profile" block to --json and a stdout summary)
 //
 // Examples:
 //   echo "0 1
@@ -67,7 +70,8 @@ using namespace asyncrd;
       "  --chaos SPEC          drop=P,dup=P,slack=T,outage=PER:DUR,seed=N\n"
       "  --series N            sample health series every N ticks\n"
       "  --watchdog W          stall watchdog, window W (trip => exit 3)\n"
-      "  --flight PATH         write flight-recorder ring to PATH at exit\n";
+      "  --flight PATH         write flight-recorder ring to PATH at exit\n"
+      "  --profile             hot-path cost attribution (in --json too)\n";
   std::exit(2);
 }
 
@@ -124,7 +128,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string gen_spec, input, json_path, trace_path, chaos_spec, flight_path;
   std::uint64_t series_interval = 0, watchdog_window = 0;
-  bool want_dot = false, quiet = false;
+  bool want_dot = false, quiet = false, profile = false;
   node_id probe_from = invalid_node;
 
   for (int i = 1; i < argc; ++i) {
@@ -145,6 +149,7 @@ int main(int argc, char** argv) {
     else if (a == "--series") series_interval = std::stoull(next());
     else if (a == "--watchdog") watchdog_window = std::stoull(next());
     else if (a == "--flight") flight_path = next();
+    else if (a == "--profile") profile = true;
     else if (a == "--version") {
       std::cout << "asyncrd " << asyncrd::version << '\n';
       return 0;
@@ -187,7 +192,8 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<telemetry::run_recorder> rec;
   const bool want_recorder = !json_path.empty() || series_interval > 0 ||
-                             watchdog_window > 0 || !flight_path.empty();
+                             watchdog_window > 0 || !flight_path.empty() ||
+                             profile;
   if (want_recorder) {
     telemetry::recorder_options opts;
     opts.series_interval = series_interval;
@@ -196,6 +202,7 @@ int main(int argc, char** argv) {
     // watchdog aborting it is the whole point of arming one here.
     opts.watchdog.abort_on_trip = true;
     if (!flight_path.empty()) opts.flight_capacity = 4096;
+    opts.profile = profile;
     rec = std::make_unique<telemetry::run_recorder>(run, opts);
   }
   std::unique_ptr<telemetry::tracer> tr;
@@ -269,6 +276,40 @@ int main(int argc, char** argv) {
     for (const auto& [type, st] : run.statistics().by_type())
       std::cout << "  " << type << ": " << st.count << " msgs, " << st.bits
                 << " bits\n";
+  }
+
+  if (profile && rec != nullptr && rec->profiler() != nullptr) {
+    const sim::cost_profiler& prof = *rec->profiler();
+    const double tpn = sim::profile_ticks_per_ns();
+    const double loop = static_cast<double>(prof.loop_ticks());
+    // Percentages are of the *sampled* event spans (1 in sample_every
+    // events reads ticks; counts are exact) — unbiased, see sim/profiler.h.
+    const double span = static_cast<double>(prof.sampled_span_ticks());
+    std::cout << "profile: event loop " << loop / tpn / 1e6 << " ms, "
+              << prof.sampled_events() << "/" << prof.events()
+              << " events sampled, "
+              << (span > 0.0
+                      ? 100.0 * static_cast<double>(prof.attributed_ticks()) /
+                            span
+                      : 0.0)
+              << "% attributed\n";
+    const auto pct = [&](std::uint64_t ticks) {
+      return span > 0.0 ? 100.0 * static_cast<double>(ticks) / span : 0.0;
+    };
+    for (std::size_t i = 0; i < sim::cost_profiler::phase_count; ++i) {
+      const auto& b = prof.phases()[i];
+      if (b.count == 0) continue;
+      std::cout << "  " << sim::profile_phase_name(
+                               static_cast<sim::cost_profiler::phase>(i))
+                << ": " << b.count << " spans, " << pct(b.ticks) << "%\n";
+    }
+    for (std::size_t tag = 0; tag < sim::cost_profiler::tag_count; ++tag) {
+      const auto& b = prof.tags()[tag];
+      if (b.count == 0) continue;
+      std::cout << "  handler " << telemetry::dispatch_tag_name(
+                                       static_cast<std::uint8_t>(tag))
+                << ": " << b.count << " spans, " << pct(b.ticks) << "%\n";
+    }
   }
 
   if (probe_from != invalid_node) {

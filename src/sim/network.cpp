@@ -293,7 +293,10 @@ void network::transport_send(node_id from, node_id to, message_ptr m) {
   const std::uint32_t from_idx = index_of(from);
   if (from_idx == npos) throw std::invalid_argument("send: unknown sender");
   stats_.record(*m);
-  if (!observers_.empty()) observers_.on_send(now_, from, to, *m);
+  if (!observers_.empty()) {
+    prof_scope ps(prof_, cost_profiler::phase::observers);
+    observers_.on_send(now_, from, to, *m);
+  }
 
   std::uint32_t ci;
   if (slots_[from_idx].last_to == to_idx) {
@@ -325,6 +328,7 @@ void network::schedule_transmission(std::uint32_t ci, queued_msg q,
   const node_id from = channels_[ci].from;
   const node_id to = channels_[ci].to;
   if (faults_on_) {
+    prof_scope fs(prof_, cost_profiler::phase::fault_rule);
     ++fault_stats_.transmissions;
     if (outage_active(channels_[ci])) {
       ++fault_stats_.outage_drops;
@@ -341,6 +345,7 @@ void network::schedule_transmission(std::uint32_t ci, queued_msg q,
   sim_time d = scheduled_delay(from, to, *q.m);
   bool dup = false;
   if (faults_on_) {
+    prof_scope fs(prof_, cost_profiler::phase::fault_rule);
     if (plan_.reorder_slack > 0) {
       // Extra delay within the model's freedom: delivery stays finite and
       // >= the scheduler's choice; per-channel FIFO stays structural (a
@@ -367,7 +372,10 @@ void network::schedule_transmission(std::uint32_t ci, queued_msg q,
   ++fault_stats_.duplicates;
   ++in_flight_;
   stats_.record(*copy.m);
-  if (!observers_.empty()) observers_.on_send(now_, from, to, *copy.m);
+  if (!observers_.empty()) {
+    prof_scope ps(prof_, cost_profiler::phase::observers);
+    observers_.on_send(now_, from, to, *copy.m);
+  }
   sim_time dd = scheduled_delay(from, to, *copy.m);
   if (plan_.reorder_slack > 0) {
     const auto extra = static_cast<sim_time>(channels_[ci].fault_rng.below(
@@ -391,6 +399,9 @@ void network::app_deliver(node_id to, node_id from, const message_ptr& m) {
   // adapter releasing the reassembled application message to the process.
   ++app_deliveries_;
   context ctx(*this, to);
+  // Handler time buckets by the *application* message's dispatch tag even
+  // under an adapter (the enclosing arq span pauses here).
+  prof_scope ps(prof_, m->dispatch_tag(), prof_scope::tag_t{});
   slots_[to_index].proc->on_message(ctx, from, m);
 }
 
@@ -452,9 +463,15 @@ void network::ensure_awake(std::uint32_t idx, std::uint64_t cause,
   if (flight_ != nullptr)
     flight_->record({now_, tctx_.event_id, cause, id, invalid_node,
                      flight_entry::kind::wake, 0});
-  observers_.on_wake(now_, id);
+  {
+    prof_scope ps(prof_, cost_profiler::phase::observers);
+    observers_.on_wake(now_, id);
+  }
   context ctx(*this, id);
-  proc->on_wake(ctx);
+  {
+    prof_scope ps(prof_, cost_profiler::phase::wake);
+    proc->on_wake(ctx);
+  }
   end_activation();
 }
 
@@ -483,14 +500,19 @@ void network::dispatch(const event& ev) {
       if (flight_ != nullptr)
         flight_->record({now_, tctx_.event_id, q.sent_in, from, to,
                          flight_entry::kind::deliver, q.m->dispatch_tag()});
-      if (!observers_.empty()) observers_.on_deliver(now_, from, to, *q.m);
+      if (!observers_.empty()) {
+        prof_scope ps(prof_, cost_profiler::phase::observers);
+        observers_.on_deliver(now_, from, to, *q.m);
+      }
       if (adapter_ != nullptr) {
         // Transport-level arrival: the adapter dedups/reorders and releases
         // application messages via app_deliver inside this activation.
+        prof_scope ps(prof_, cost_profiler::phase::arq);
         adapter_->transport_deliver(from, to, q.m);
       } else {
         ++app_deliveries_;
         context ctx(*this, to);
+        prof_scope ps(prof_, q.m->dispatch_tag(), prof_scope::tag_t{});
         slots_[to_index].proc->on_message(ctx, from, q.m);
       }
       end_activation();
@@ -503,7 +525,10 @@ void network::dispatch(const event& ev) {
       if (flight_ != nullptr)
         flight_->record({now_, flight_entry::none, ev.cause, invalid_node,
                          invalid_node, flight_entry::kind::timer, 0});
-      if (adapter_ != nullptr) adapter_->on_timer(ev.cause);
+      if (adapter_ != nullptr) {
+        prof_scope ps(prof_, cost_profiler::phase::arq);
+        adapter_->on_timer(ev.cause);
+      }
       break;
     }
   }
@@ -526,14 +551,24 @@ run_result network::run_to_quiescence(std::uint64_t max_events) {
   stop_requested_ = false;
   run_result r;
   const auto start = std::chrono::steady_clock::now();
+  if (prof_ != nullptr) prof_->loop_enter();
   while (!events_.empty()) {
     if (r.events_processed++ >= max_events) {
       r.completed = false;
       break;
     }
-    dispatch(events_.pop());
+    if (prof_ == nullptr) {
+      dispatch(events_.pop());
+    } else {
+      prof_->event_begin();
+      prof_->begin(cost_profiler::phase::queue_pop);
+      const event ev = events_.pop();
+      prof_->end();
+      dispatch(ev);
+    }
     // Runtime health: one compare per event when no probe is due.
     if (now_ >= next_probe_) {
+      prof_scope ps(prof_, cost_profiler::phase::probes);
       fire_probes();
       if (stop_requested_) {
         r.completed = false;
@@ -541,7 +576,9 @@ run_result network::run_to_quiescence(std::uint64_t max_events) {
         break;
       }
     }
+    if (prof_ != nullptr) prof_->event_end();
   }
+  if (prof_ != nullptr) prof_->loop_exit();
   const auto elapsed = std::chrono::steady_clock::now() - start;
   ++timing_.loops;
   timing_.events += r.events_processed;

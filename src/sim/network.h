@@ -47,6 +47,7 @@
 #include "common/rng.h"
 #include "sim/flight_recorder.h"
 #include "sim/message.h"
+#include "sim/profiler.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
 
@@ -400,6 +401,14 @@ class network {
   void set_flight_recorder(flight_recorder* fr) noexcept { flight_ = fr; }
   flight_recorder* flight() const noexcept { return flight_; }
 
+  /// Installs (nullptr uninstalls) an online cost profiler (sim/profiler.h):
+  /// hot-path phases — queue pop, fault ruling, ARQ, per-dispatch-tag
+  /// handlers, observer fan-out, health probes — get exclusive wall-clock
+  /// attribution.  Disarmed cost is one pointer test per site.  Not owned;
+  /// must outlive the run.
+  void set_profiler(cost_profiler* p) noexcept { prof_ = p; }
+  cost_profiler* profiler() const noexcept { return prof_; }
+
   /// Asks the running event loop to stop after the current event; the
   /// run_result comes back with stopped = true, completed = false.  Called
   /// by probes (watchdog abort-on-trip); a no-op outside run().
@@ -582,6 +591,7 @@ class network {
   std::vector<std::pair<health_probe*, sim_time>> probes_;
   sim_time next_probe_ = no_probe;
   flight_recorder* flight_ = nullptr;
+  cost_profiler* prof_ = nullptr;
   std::uint64_t app_deliveries_ = 0;
   bool stop_requested_ = false;
   sim_time now_ = 0;

@@ -1,0 +1,52 @@
+#include "sim/profiler.h"
+
+#include <chrono>
+
+namespace asyncrd::sim {
+
+namespace {
+
+/// Measures the tick rate against steady_clock over a short spin.  Run
+/// once (static init of the cached value) — report-time only, never on the
+/// hot path.
+double calibrate_ticks_per_ns() noexcept {
+#if defined(__x86_64__) || defined(__i386__) || defined(__aarch64__)
+  using clock = std::chrono::steady_clock;
+  // Two samples ~2ms apart; constant-rate counters (invariant TSC, the
+  // AArch64 virtual counter) make this accurate to well under a percent,
+  // which is plenty for attribution shares.
+  const std::uint64_t t0 = profile_ticks();
+  const auto c0 = clock::now();
+  while (clock::now() - c0 < std::chrono::milliseconds(2)) {
+  }
+  const std::uint64_t t1 = profile_ticks();
+  const auto c1 = clock::now();
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(c1 - c0).count());
+  if (ns <= 0.0 || t1 <= t0) return 1.0;
+  return static_cast<double>(t1 - t0) / ns;
+#else
+  return 1.0;  // profile_ticks already returns steady_clock nanoseconds
+#endif
+}
+
+}  // namespace
+
+double profile_ticks_per_ns() noexcept {
+  static const double rate = calibrate_ticks_per_ns();
+  return rate;
+}
+
+const char* profile_phase_name(cost_profiler::phase p) noexcept {
+  switch (p) {
+    case cost_profiler::phase::queue_pop: return "queue_pop";
+    case cost_profiler::phase::fault_rule: return "fault_rule";
+    case cost_profiler::phase::arq: return "arq";
+    case cost_profiler::phase::observers: return "observers";
+    case cost_profiler::phase::probes: return "probes";
+    case cost_profiler::phase::wake: return "wake";
+  }
+  return "?";
+}
+
+}  // namespace asyncrd::sim

@@ -1,0 +1,70 @@
+#include "telemetry/parallelism.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace asyncrd::telemetry {
+
+parallelism_profile compute_parallelism(const std::vector<trace_event>& events,
+                                        sim::sim_time bucket) {
+  parallelism_profile p;
+  if (bucket == 0) bucket = 1;
+  p.bucket = bucket;
+  if (events.empty()) return p;
+
+  // Width: activations per virtual-time bucket.  Buckets are sparse over
+  // the makespan (an idle window contributes no sample — the profile
+  // measures concurrency *while active*, which is what a work-stealing
+  // scheduler would see).
+  std::unordered_map<std::uint64_t, std::uint64_t> per_bucket;
+  per_bucket.reserve(events.size());
+  // Lookahead: minimum observed delay per ordered link.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_min;
+
+  for (const trace_event& e : events) {
+    p.activations += 1;
+    p.critical_path_len = std::max(p.critical_path_len, e.lamport);
+    p.makespan = std::max(p.makespan, e.at);
+    per_bucket[e.at / bucket] += 1;
+    if (e.what == trace_event::kind::deliver && e.from != invalid_node &&
+        e.at >= e.sent_at) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(e.from) << 32) |
+          static_cast<std::uint64_t>(e.to);
+      const std::uint64_t delay = e.at - e.sent_at;
+      const auto [it, fresh] = link_min.try_emplace(key, delay);
+      if (!fresh) it->second = std::min(it->second, delay);
+    }
+  }
+
+  p.buckets_occupied = per_bucket.size();
+  for (const auto& [b, n] : per_bucket) {
+    p.width.record(n);
+    p.max_width = std::max(p.max_width, n);
+  }
+  p.mean_width = p.buckets_occupied == 0
+                     ? 0.0
+                     : static_cast<double>(p.activations) /
+                           static_cast<double>(p.buckets_occupied);
+  p.work_cp_ratio = p.critical_path_len == 0
+                        ? 0.0
+                        : static_cast<double>(p.activations) /
+                              static_cast<double>(p.critical_path_len);
+
+  p.links = link_min.size();
+  if (!link_min.empty()) {
+    std::uint64_t lo = UINT64_MAX, hi = 0, sum = 0;
+    for (const auto& [key, d] : link_min) {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+      sum += d;
+    }
+    p.lookahead_min = lo;
+    p.lookahead_max = hi;
+    p.lookahead_mean =
+        static_cast<double>(sum) / static_cast<double>(link_min.size());
+  }
+  return p;
+}
+
+}  // namespace asyncrd::telemetry

@@ -170,8 +170,9 @@ std::vector<counter_series> counter_tracks(const series_sampler& sampler) {
     // Cumulative counters become per-sample deltas: a send-rate dip during
     // an outage window reads directly off the track instead of hiding in
     // the slope of an ever-growing total.
-    const bool cumulative =
-        name.rfind("sent.", 0) == 0 || name == "arq.retransmits";
+    const bool cumulative = name.rfind("sent.", 0) == 0 ||
+                            name.rfind("prof.", 0) == 0 ||
+                            name == "arq.retransmits";
     if (cumulative) {
       c.name = name + "/delta";
       for (std::size_t j = c.values.size(); j-- > 1;)

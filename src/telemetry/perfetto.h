@@ -57,9 +57,10 @@ void write_perfetto_trace(std::ostream& os,
                           const std::vector<counter_series>& counters);
 
 /// Counter tracks from an armed series sampler (telemetry/timeseries.h):
-/// gauge columns export as-is; cumulative "sent.*" and "arq.retransmits"
-/// columns export as per-sample deltas so outage dips and retransmit
-/// storms are visible directly on the track.
+/// gauge columns export as-is; cumulative "sent.*", "prof.*", and
+/// "arq.retransmits" columns export as per-sample deltas so outage dips,
+/// per-phase cost spikes, and retransmit storms are visible directly on
+/// the track.
 std::vector<counter_series> counter_tracks(const series_sampler& sampler);
 
 }  // namespace asyncrd::telemetry

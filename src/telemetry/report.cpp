@@ -92,6 +92,31 @@ void run_report::write_json(json_writer& w) const {
   w.end_array();
   w.end_object();
 
+  w.key("profile").begin_object();
+  w.kv("armed", profile.armed);
+  w.kv("ticks_per_ns", profile.ticks_per_ns);
+  w.kv("loop_ticks", profile.loop_ticks);
+  w.kv("loop_ns", profile.loop_ns);
+  w.kv("events", profile.events);
+  w.kv("sampled_events", profile.sampled_events);
+  w.kv("sample_every", profile.sample_every);
+  w.kv("attributed_fraction", profile.attributed_fraction);
+  const auto write_entries = [&w](const char* key, const auto& entries) {
+    w.key(key).begin_array();
+    for (const auto& e : entries) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("count", e.count);
+      w.kv("ticks", e.ticks);
+      w.kv("ns", e.ns);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  write_entries("phases", profile.phases);
+  write_entries("tags", profile.tags);
+  w.end_object();
+
   w.key("transitions").begin_object();
   for (const auto& [edge, count] : transitions) w.kv(edge, count);
   w.end_object();
@@ -203,9 +228,18 @@ run_recorder::run_recorder(core::discovery_run& run, recorder_options opts)
     flight_ = std::make_unique<sim::flight_recorder>(opts.flight_capacity);
     run_->net().set_flight_recorder(flight_.get());
   }
+  if (opts.profile) {
+    profiler_ = std::make_unique<sim::cost_profiler>();
+    run_->net().set_profiler(profiler_.get());
+    // Warm the tick calibration now, outside the timed event loop, so the
+    // series sampler's mid-run reads hit the cached value.
+    (void)sim::profile_ticks_per_ns();
+  }
 }
 
 run_recorder::~run_recorder() {
+  if (profiler_ != nullptr && run_->net().profiler() == profiler_.get())
+    run_->net().set_profiler(nullptr);
   if (flight_ != nullptr && run_->net().flight() == flight_.get())
     run_->net().set_flight_recorder(nullptr);
   if (watchdog_ != nullptr) run_->net().remove_health_probe(watchdog_.get());
@@ -232,6 +266,35 @@ run_report run_recorder::report(const sim::run_result& result) const {
     rep.watchdog.probe_interval = watchdog_->config().probe_interval;
     rep.watchdog.abort_on_trip = watchdog_->config().abort_on_trip;
     rep.watchdog.trips = watchdog_->trips();
+  }
+  if (profiler_ != nullptr) {
+    const sim::cost_profiler& prof = *profiler_;
+    const double tpn = sim::profile_ticks_per_ns();
+    rep.profile.armed = true;
+    rep.profile.ticks_per_ns = tpn;
+    rep.profile.loop_ticks = prof.loop_ticks();
+    rep.profile.loop_ns = static_cast<double>(prof.loop_ticks()) / tpn;
+    rep.profile.events = prof.events();
+    rep.profile.sampled_events = prof.sampled_events();
+    rep.profile.sample_every = prof.sample_every();
+    if (prof.sampled_span_ticks() > 0)
+      rep.profile.attributed_fraction =
+          static_cast<double>(prof.attributed_ticks()) /
+          static_cast<double>(prof.sampled_span_ticks());
+    const double scale = prof.sample_scale();
+    for (std::size_t i = 0; i < sim::cost_profiler::phase_count; ++i) {
+      const auto& b = prof.phases()[i];
+      rep.profile.phases.push_back(
+          {sim::profile_phase_name(static_cast<sim::cost_profiler::phase>(i)),
+           b.count, b.ticks, static_cast<double>(b.ticks) / tpn * scale});
+    }
+    for (std::size_t tag = 0; tag < sim::cost_profiler::tag_count; ++tag) {
+      const auto& b = prof.tags()[tag];
+      if (b.count == 0) continue;
+      rep.profile.tags.push_back(
+          {dispatch_tag_name(static_cast<std::uint8_t>(tag)), b.count,
+           b.ticks, static_cast<double>(b.ticks) / tpn * scale});
+    }
   }
   return rep;
 }

@@ -30,6 +30,7 @@
 #include "core/runner.h"
 #include "core/trace.h"
 #include "sim/load_observer.h"
+#include "sim/profiler.h"
 #include "sim/stats.h"
 #include "telemetry/health.h"
 #include "telemetry/histogram.h"
@@ -45,8 +46,9 @@ struct run_report {
   /// the document so validators can reject unknown schemas before diffing
   /// anything else.  Bump when keys change meaning or shape:
   ///   1 — PRs 1-5 (implicit; no version field)
-  ///   2 — this layout: adds report_version, "series", "watchdog"
-  static constexpr std::uint64_t current_version = 2;
+  ///   2 — adds report_version, "series", "watchdog"
+  ///   3 — this layout: adds "profile" (hot-path cost attribution)
+  static constexpr std::uint64_t current_version = 3;
   std::uint64_t report_version = current_version;
 
   // --- caller-supplied context -----------------------------------------
@@ -120,6 +122,35 @@ struct run_report {
   };
   watchdog_report watchdog;
 
+  /// Hot-path cost attribution (sim/profiler.h).  Always serialized;
+  /// armed == false with empty buckets on a run without the profiler.
+  /// Counts are exact; ticks come from the 1-in-sample_every sampled
+  /// events, and `ns` fields extrapolate to whole-run estimates
+  /// (ticks / ticks_per_ns * events / sampled_events) at report time.
+  struct profile_report {
+    bool armed = false;
+    double ticks_per_ns = 0.0;
+    struct entry {
+      std::string name;
+      std::uint64_t count = 0;
+      std::uint64_t ticks = 0;
+      double ns = 0.0;
+    };
+    std::vector<entry> phases;  ///< fixed phases, enum order
+    std::vector<entry> tags;    ///< dispatch tags with count > 0
+    std::uint64_t loop_ticks = 0;  ///< whole event-loop span
+    double loop_ns = 0.0;
+    std::uint64_t events = 0;          ///< events seen by the gate
+    std::uint64_t sampled_events = 0;  ///< events that read ticks
+    std::uint64_t sample_every = 0;    ///< the gate's sampling period
+    /// attributed_ticks / sampled_span_ticks: how much of the measured
+    /// event spans the instrumented phases explain (the rest is queue
+    /// bookkeeping and dispatch glue between spans).  Unbiased despite
+    /// sampling — numerator and denominator cover the same events.
+    double attributed_fraction = 0.0;
+  };
+  profile_report profile;
+
   /// State-transition multiplicities, "explore -> wait" style keys.
   std::map<std::string, std::uint64_t> transitions;
 
@@ -152,6 +183,8 @@ struct recorder_options {
   watchdog_config watchdog;
   /// Flight-recorder ring size (last K dispatched events); 0 = none.
   std::size_t flight_capacity = 0;
+  /// Arm the hot-path cost profiler (sim/profiler.h) for the run.
+  bool profile = false;
 };
 
 /// Arms a load observer, a transition recorder, and a metrics registry on a
@@ -179,6 +212,9 @@ class run_recorder {
   const series_sampler* sampler() const noexcept { return sampler_.get(); }
   const stall_watchdog* watchdog() const noexcept { return watchdog_.get(); }
   const sim::flight_recorder* flight() const noexcept { return flight_.get(); }
+  const sim::cost_profiler* profiler() const noexcept {
+    return profiler_.get();
+  }
 
  private:
   /// Feeds the metrics registry from network events.
@@ -204,6 +240,7 @@ class run_recorder {
   std::unique_ptr<series_sampler> sampler_;
   std::unique_ptr<stall_watchdog> watchdog_;
   std::unique_ptr<sim::flight_recorder> flight_;
+  std::unique_ptr<sim::cost_profiler> profiler_;
 };
 
 }  // namespace asyncrd::telemetry

@@ -127,6 +127,16 @@ sim_time series_sampler::on_probe(sim::network& net) {
     col_arq_retransmits_ = frame_.add_column("arq.retransmits");
     have_arq_cols_ = true;
   }
+  const sim::cost_profiler* prof = net.profiler();
+  if (prof != nullptr && !have_prof_cols_) {
+    for (std::size_t i = 0; i < sim::cost_profiler::phase_count; ++i)
+      col_prof_[i] = frame_.add_column(
+          std::string("prof.") + sim::profile_phase_name(
+                                     static_cast<sim::cost_profiler::phase>(i)));
+    col_prof_[sim::cost_profiler::phase_count] =
+        frame_.add_column("prof.handlers");
+    have_prof_cols_ = true;
+  }
   // Per-type cumulative send counts: types appear lazily as the run first
   // sends them; add_column backfills zeros, which is exact for counters.
   for (const auto& [type, st] : run_->statistics().by_type())
@@ -143,6 +153,23 @@ sim_time series_sampler::on_probe(sim::network& net) {
     row_[col_arq_outstanding_] = rl->outstanding();
     row_[col_arq_backlogged_] = rl->backlogged_channels();
     row_[col_arq_retransmits_] = rl->stats().retransmits;
+  }
+  if (prof != nullptr) {
+    // run_recorder warmed the calibration before the run, so this is a
+    // cached read, not the 2ms spin.  Ticks are sampled 1-in-sample_every;
+    // scale by the constant period (not the live events/sampled ratio,
+    // which fluctuates and would make these cumulative columns — and the
+    // Perfetto deltas derived from them — non-monotonic).
+    const double tpn = sim::profile_ticks_per_ns();
+    const double scale = static_cast<double>(prof->sample_every());
+    const auto to_ns = [tpn, scale](std::uint64_t ticks) {
+      return static_cast<std::uint64_t>(static_cast<double>(ticks) / tpn *
+                                        scale);
+    };
+    for (std::size_t i = 0; i < sim::cost_profiler::phase_count; ++i)
+      row_[col_prof_[i]] = to_ns(prof->phases()[i].ticks);
+    row_[col_prof_[sim::cost_profiler::phase_count]] =
+        to_ns(prof->handler_ticks());
   }
   for (const auto& [type, st] : run_->statistics().by_type())
     row_[frame_.add_column("sent." + type)] = st.count;

@@ -134,6 +134,11 @@ class series_sampler final : public sim::health_probe {
   std::uint32_t col_arq_backlogged_ = 0;
   std::uint32_t col_arq_retransmits_ = 0;
   bool have_arq_cols_ = false;
+  // Cost-profiler columns (cumulative attributed nanoseconds per phase,
+  // plus "prof.handlers" for the dispatch-tag total); appear lazily when
+  // the network has a profiler armed, like the ARQ columns.
+  std::uint32_t col_prof_[sim::cost_profiler::phase_count + 1] = {};
+  bool have_prof_cols_ = false;
   std::vector<std::uint64_t> row_;
   std::size_t chain_cursor_ = 0;
   std::uint64_t chain_hi_water_ = 0;

@@ -1,0 +1,195 @@
+// Parallelism-profile tests: the analytical cases (a chain has width 1 and
+// no speedup; a star has width n-1 and full speedup), a brute-force
+// reference computation cross-checked on a real traced run, and bucket
+// grouping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "telemetry/parallelism.h"
+#include "telemetry/tracer.h"
+
+namespace asyncrd {
+namespace {
+
+using telemetry::compute_parallelism;
+using telemetry::parallelism_profile;
+using telemetry::trace_event;
+using telemetry::trace_none;
+
+trace_event wake(std::uint64_t id, node_id v, sim::sim_time at,
+                 std::uint64_t lamport) {
+  trace_event e;
+  e.id = id;
+  e.what = trace_event::kind::wake;
+  e.to = v;
+  e.at = at;
+  e.lamport = lamport;
+  return e;
+}
+
+trace_event deliver(std::uint64_t id, std::uint64_t cause, node_id from,
+                    node_id to, sim::sim_time sent_at, sim::sim_time at,
+                    std::uint64_t lamport) {
+  trace_event e;
+  e.id = id;
+  e.what = trace_event::kind::deliver;
+  e.cause = cause;
+  e.from = from;
+  e.to = to;
+  e.sent_at = sent_at;
+  e.at = at;
+  e.lamport = lamport;
+  e.type = "msg";
+  return e;
+}
+
+/// Brute-force reference: widths by sorting activations into buckets.
+std::map<std::uint64_t, std::uint64_t> brute_widths(
+    const std::vector<trace_event>& evs, sim::sim_time bucket) {
+  std::map<std::uint64_t, std::uint64_t> w;
+  for (const trace_event& e : evs) w[e.at / bucket] += 1;
+  return w;
+}
+
+TEST(Parallelism, EmptyTraceIsAllZero) {
+  const parallelism_profile p = compute_parallelism({});
+  EXPECT_EQ(p.activations, 0u);
+  EXPECT_EQ(p.critical_path_len, 0u);
+  EXPECT_EQ(p.work_cp_ratio, 0.0);
+  EXPECT_EQ(p.links, 0u);
+}
+
+TEST(Parallelism, ChainHasWidthOneAndNoSpeedup) {
+  // Hand-built chain: wake, then n-1 sequential unit-delay deliveries —
+  // the fully serial execution.
+  constexpr std::uint64_t n = 16;
+  std::vector<trace_event> evs;
+  evs.push_back(wake(1, 0, 0, 1));
+  for (std::uint64_t i = 1; i < n; ++i)
+    evs.push_back(deliver(i + 1, i, static_cast<node_id>(i - 1),
+                          static_cast<node_id>(i), i - 1, i, i + 1));
+
+  const parallelism_profile p = compute_parallelism(evs);
+  EXPECT_EQ(p.activations, n);
+  EXPECT_EQ(p.critical_path_len, n);  // max lamport
+  EXPECT_DOUBLE_EQ(p.work_cp_ratio, 1.0);
+  EXPECT_EQ(p.max_width, 1u);
+  EXPECT_DOUBLE_EQ(p.mean_width, 1.0);
+  EXPECT_EQ(p.buckets_occupied, n);
+  EXPECT_EQ(p.width.count(), n);  // one sample per occupied bucket
+  EXPECT_EQ(p.makespan, n - 1);
+  // Each chain hop is its own link with exactly one unit-delay delivery.
+  EXPECT_EQ(p.links, n - 1);
+  EXPECT_EQ(p.lookahead_min, 1u);
+  EXPECT_EQ(p.lookahead_max, 1u);
+  EXPECT_DOUBLE_EQ(p.lookahead_mean, 1.0);
+}
+
+TEST(Parallelism, StarHasWidthNMinusOne) {
+  // Root wakes at t=0 and sends to n-1 spokes, all delivered at t=1: the
+  // fully parallel execution.
+  constexpr std::uint64_t n = 12;
+  std::vector<trace_event> evs;
+  evs.push_back(wake(1, 0, 0, 1));
+  for (std::uint64_t i = 1; i < n; ++i)
+    evs.push_back(deliver(i + 1, 1, 0, static_cast<node_id>(i), 0, 1, 2));
+
+  const parallelism_profile p = compute_parallelism(evs);
+  EXPECT_EQ(p.activations, n);
+  EXPECT_EQ(p.critical_path_len, 2u);
+  EXPECT_DOUBLE_EQ(p.work_cp_ratio, static_cast<double>(n) / 2.0);
+  EXPECT_EQ(p.max_width, n - 1);
+  EXPECT_EQ(p.buckets_occupied, 2u);  // t=0 (the wake) and t=1 (the burst)
+  EXPECT_DOUBLE_EQ(p.mean_width, static_cast<double>(n) / 2.0);
+  EXPECT_EQ(p.links, n - 1);
+  EXPECT_EQ(p.lookahead_min, 1u);
+}
+
+TEST(Parallelism, BucketGroupingMergesNeighbours) {
+  // Chain again, but bucketed by 4: ceil(16/4) = 4 occupied buckets of
+  // width 4 each.
+  constexpr std::uint64_t n = 16;
+  std::vector<trace_event> evs;
+  evs.push_back(wake(1, 0, 0, 1));
+  for (std::uint64_t i = 1; i < n; ++i)
+    evs.push_back(deliver(i + 1, i, static_cast<node_id>(i - 1),
+                          static_cast<node_id>(i), i - 1, i, i + 1));
+
+  const parallelism_profile p = compute_parallelism(evs, 4);
+  EXPECT_EQ(p.bucket, 4u);
+  EXPECT_EQ(p.buckets_occupied, 4u);
+  EXPECT_EQ(p.max_width, 4u);
+  EXPECT_DOUBLE_EQ(p.mean_width, 4.0);
+  // The critical path is bucket-independent.
+  EXPECT_EQ(p.critical_path_len, n);
+}
+
+TEST(Parallelism, ZeroBucketFallsBackToOne) {
+  std::vector<trace_event> evs{wake(1, 0, 0, 1)};
+  const parallelism_profile p = compute_parallelism(evs, 0);
+  EXPECT_EQ(p.bucket, 1u);
+  EXPECT_EQ(p.activations, 1u);
+}
+
+TEST(Parallelism, MatchesBruteForceOnTracedRun) {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  const auto g = graph::random_weakly_connected(120, 150, 9);
+  core::discovery_run run(g, cfg, sched);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
+  run.wake_all();
+  const auto r = run.run();
+  ASSERT_TRUE(r.completed);
+  run.net().remove_observer(&tr);
+  const std::vector<trace_event>& evs = tr.events();
+  ASSERT_FALSE(evs.empty());
+
+  for (const sim::sim_time bucket : {sim::sim_time{1}, sim::sim_time{8}}) {
+    const parallelism_profile p = compute_parallelism(evs, bucket);
+    const auto ref = brute_widths(evs, bucket);
+
+    EXPECT_EQ(p.activations, evs.size());
+    EXPECT_EQ(p.critical_path_len, tr.max_lamport());
+    EXPECT_EQ(p.buckets_occupied, ref.size());
+    std::uint64_t ref_max = 0, ref_sum = 0;
+    for (const auto& [b, wdt] : ref) {
+      ref_max = std::max(ref_max, wdt);
+      ref_sum += wdt;
+    }
+    EXPECT_EQ(p.max_width, ref_max);
+    EXPECT_EQ(ref_sum, p.activations);
+    EXPECT_DOUBLE_EQ(p.mean_width, static_cast<double>(ref_sum) /
+                                       static_cast<double>(ref.size()));
+    EXPECT_EQ(p.width.count(), ref.size());
+    EXPECT_EQ(p.width.max(), ref_max);
+
+    // Unit delays: every delivery takes exactly one tick, so every link's
+    // lookahead is 1.
+    EXPECT_EQ(p.lookahead_min, 1u);
+    EXPECT_EQ(p.lookahead_max, 1u);
+
+    // Brent sanity at exact times: a causal chain's activations sit at
+    // strictly increasing times, so occupied buckets >= critical path and
+    // mean width never exceeds work / critical-path.  (Coarser buckets
+    // shrink the denominator and void the comparison.)
+    if (bucket == 1) {
+      EXPECT_LE(p.mean_width, p.work_cp_ratio + 1e-9);
+    }
+  }
+}
+
+TEST(Parallelism, WakesDoNotContributeLinks) {
+  std::vector<trace_event> evs{wake(1, 0, 0, 1), wake(2, 1, 0, 1)};
+  const parallelism_profile p = compute_parallelism(evs);
+  EXPECT_EQ(p.links, 0u);
+  EXPECT_EQ(p.lookahead_min, 0u);
+  EXPECT_EQ(p.max_width, 2u);  // both wakes at t=0
+}
+
+}  // namespace
+}  // namespace asyncrd

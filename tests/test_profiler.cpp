@@ -1,0 +1,234 @@
+// Cost-profiler unit tests: exclusive-time attribution over the phase
+// stack, the armed run_recorder pipeline (report "profile" block with
+// per-phase counts matching the run's event mix), and the Perfetto
+// round-trip of the "prof.*" counter tracks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/profiler.h"
+#include "telemetry/json.h"
+#include "telemetry/perfetto.h"
+#include "telemetry/report.h"
+#include "telemetry/tracer.h"
+
+namespace asyncrd {
+namespace {
+
+// Spins long enough that any tick source advances.
+void burn() {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(Profiler, TicksAdvanceAndCalibrate) {
+  const std::uint64_t a = sim::profile_ticks();
+  burn();
+  const std::uint64_t b = sim::profile_ticks();
+  EXPECT_GT(b, a);
+  EXPECT_GT(sim::profile_ticks_per_ns(), 0.0);
+}
+
+TEST(Profiler, AttributesExclusiveTime) {
+  sim::cost_profiler p;
+  p.loop_enter();
+  p.begin(sim::cost_profiler::phase::queue_pop);
+  burn();
+  // Entering a nested phase pauses the outer one: the inner burn must not
+  // count toward queue_pop.
+  p.begin(sim::cost_profiler::phase::fault_rule);
+  burn();
+  p.end();
+  p.end();
+  p.loop_exit();
+
+  const auto& pop = p.of(sim::cost_profiler::phase::queue_pop);
+  const auto& fault = p.of(sim::cost_profiler::phase::fault_rule);
+  EXPECT_EQ(pop.count, 1u);
+  EXPECT_EQ(fault.count, 1u);
+  EXPECT_GT(pop.ticks, 0u);
+  EXPECT_GT(fault.ticks, 0u);
+  // Exclusive attribution: everything attributed fits inside the loop span.
+  EXPECT_LE(p.attributed_ticks(), p.loop_ticks());
+  EXPECT_EQ(p.attributed_ticks(), pop.ticks + fault.ticks);
+}
+
+TEST(Profiler, TagBucketsAndHandlerTotal) {
+  sim::cost_profiler p;
+  p.begin_tag(7);
+  burn();
+  p.end();
+  p.begin_tag(7);
+  p.end();
+  p.begin_tag(200);
+  p.end();
+  EXPECT_EQ(p.tags()[7].count, 2u);
+  EXPECT_EQ(p.tags()[200].count, 1u);
+  EXPECT_GT(p.handler_ticks(), 0u);
+  EXPECT_EQ(p.handler_ticks(),
+            p.tags()[7].ticks + p.tags()[200].ticks);
+  p.reset();
+  EXPECT_EQ(p.tags()[7].count, 0u);
+  EXPECT_EQ(p.attributed_ticks(), 0u);
+}
+
+TEST(Profiler, GateSamplesTicksButCountsAll) {
+  sim::cost_profiler p;
+  p.set_sample_every(4);
+  p.loop_enter();
+  for (int i = 0; i < 8; ++i) {
+    p.event_begin();
+    p.begin(sim::cost_profiler::phase::queue_pop);
+    burn();
+    p.end();
+    p.event_end();
+  }
+  p.loop_exit();
+  // Counts are exact on every event; ticks only on the 1-in-4 sampled
+  // events (the first event is always sampled).
+  EXPECT_EQ(p.of(sim::cost_profiler::phase::queue_pop).count, 8u);
+  EXPECT_EQ(p.events(), 8u);
+  EXPECT_EQ(p.sampled_events(), 2u);
+  EXPECT_GT(p.sampled_span_ticks(), 0u);
+  EXPECT_GT(p.attributed_ticks(), 0u);
+  EXPECT_LE(p.attributed_ticks(), p.sampled_span_ticks());
+  EXPECT_DOUBLE_EQ(p.sample_scale(), 4.0);
+}
+
+TEST(Profiler, NullScopeIsANoop) {
+  // The disarmed call sites pass nullptr; this must not crash or attribute.
+  sim::prof_scope a(nullptr, sim::cost_profiler::phase::arq);
+  sim::prof_scope b(nullptr, std::uint8_t{3}, sim::prof_scope::tag_t{});
+}
+
+TEST(Profiler, PhaseNamesAreStable) {
+  EXPECT_STREQ(sim::profile_phase_name(sim::cost_profiler::phase::queue_pop),
+               "queue_pop");
+  EXPECT_STREQ(sim::profile_phase_name(sim::cost_profiler::phase::wake),
+               "wake");
+}
+
+TEST(Profiler, RecorderArmsAndReportsEventMix) {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  const auto g = graph::random_weakly_connected(80, 100, 11);
+  core::discovery_run run(g, cfg, sched);
+  telemetry::recorder_options opts;
+  opts.profile = true;
+  telemetry::run_recorder rec(run, opts);
+  ASSERT_NE(rec.profiler(), nullptr);
+  run.wake_all();
+  const auto r = run.run();
+  ASSERT_TRUE(r.completed);
+
+  const sim::cost_profiler& prof = *rec.profiler();
+  // Every event pops the queue exactly once, every wake runs one wake span.
+  EXPECT_EQ(prof.of(sim::cost_profiler::phase::queue_pop).count,
+            r.events_processed);
+  EXPECT_EQ(prof.of(sim::cost_profiler::phase::wake).count,
+            static_cast<std::uint64_t>(g.node_count()));
+  EXPECT_GT(prof.handler_ticks(), 0u);
+  EXPECT_GT(prof.loop_ticks(), 0u);
+  EXPECT_LE(prof.attributed_ticks(), prof.loop_ticks());
+  // The gate saw every loop event and sampled 1 in sample_every of them.
+  EXPECT_EQ(prof.events(), r.events_processed);
+  EXPECT_EQ(prof.sampled_events(),
+            (r.events_processed + prof.sample_every() - 1) /
+                prof.sample_every());
+  EXPECT_LE(prof.attributed_ticks(), prof.sampled_span_ticks());
+
+  const telemetry::run_report rep = rec.report(r);
+  EXPECT_EQ(rep.report_version, 3u);
+  EXPECT_TRUE(rep.profile.armed);
+  EXPECT_GT(rep.profile.ticks_per_ns, 0.0);
+  EXPECT_GT(rep.profile.loop_ns, 0.0);
+  EXPECT_GT(rep.profile.attributed_fraction, 0.0);
+  EXPECT_LE(rep.profile.attributed_fraction, 1.0);
+  ASSERT_EQ(rep.profile.phases.size(), sim::cost_profiler::phase_count);
+  EXPECT_EQ(rep.profile.phases[0].name, "queue_pop");
+  EXPECT_FALSE(rep.profile.tags.empty());
+
+  // The serialized report carries the block (json_check --report's v3
+  // requirement).
+  const auto doc = telemetry::json_parse(rep.to_json());
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::json_value* profile = doc->find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_TRUE(profile->find("armed")->as_bool());
+  EXPECT_FALSE(profile->find("tags")->as_array().empty());
+}
+
+TEST(Profiler, DisarmedReportSerializesEmptyBlock) {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(graph::directed_path(6), cfg, sched);
+  telemetry::run_recorder rec(run);
+  EXPECT_EQ(rec.profiler(), nullptr);
+  run.wake_all();
+  const auto r = run.run();
+  const telemetry::run_report rep = rec.report(r);
+  EXPECT_FALSE(rep.profile.armed);
+  const auto doc = telemetry::json_parse(rep.to_json());
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::json_value* profile = doc->find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_FALSE(profile->find("armed")->as_bool());
+}
+
+TEST(Profiler, PerfettoCounterTracksRoundTrip) {
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  const auto g = graph::random_weakly_connected(60, 80, 5);
+  core::discovery_run run(g, cfg, sched);
+  telemetry::recorder_options opts;
+  opts.profile = true;
+  opts.series_interval = 4;
+  telemetry::run_recorder rec(run, opts);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
+  run.wake_all();
+  const auto r = run.run();
+  ASSERT_TRUE(r.completed);
+  run.net().remove_observer(&tr);
+
+  ASSERT_NE(rec.sampler(), nullptr);
+  const auto counters = telemetry::counter_tracks(*rec.sampler());
+  // Cumulative prof columns export as "/delta" tracks.
+  bool found_pop = false, found_handlers = false;
+  for (const auto& c : counters) {
+    if (c.name == "prof.queue_pop/delta") found_pop = true;
+    if (c.name == "prof.handlers/delta") found_handlers = true;
+  }
+  EXPECT_TRUE(found_pop);
+  EXPECT_TRUE(found_handlers);
+
+  const std::string json =
+      telemetry::perfetto_trace_json(tr.events(), "profiler_test", counters);
+  const auto doc = telemetry::json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::json_value* evs = doc->find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  std::uint64_t prof_samples = 0;
+  for (const telemetry::json_value& ev : evs->as_array()) {
+    const telemetry::json_value* ph = ev.find("ph");
+    const telemetry::json_value* name = ev.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "C") continue;
+    ASSERT_NE(name, nullptr);
+    if (name->as_string().rfind("prof.", 0) != 0) continue;
+    ++prof_samples;
+    const telemetry::json_value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->find("value"), nullptr);
+    EXPECT_TRUE(args->find("value")->is_number());
+  }
+  // phase_count + handlers tracks, >= 1 sample each.
+  EXPECT_GE(prof_samples, sim::cost_profiler::phase_count + 1);
+}
+
+}  // namespace
+}  // namespace asyncrd

@@ -3,7 +3,7 @@
 //   json_check FILE...            each FILE must be a bench report with the
 //                                 keys {bench, ok, wall_ms, n_values,
 //                                 measured, predicted_bound,
-//                                 messages_by_type}
+//                                 messages_by_type, provenance}
 //   json_check --report FILE...   each FILE must be a run report:
 //                                 report_version must be a known version,
 //                                 required keys {label, variant, nodes,
@@ -55,11 +55,11 @@ constexpr int exit_schema = 5;
 
 /// Report schema versions this binary understands.
 constexpr std::uint64_t min_report_version = 2;
-constexpr std::uint64_t max_report_version = 2;
+constexpr std::uint64_t max_report_version = 3;
 
 const std::vector<std::string> bench_keys = {
     "bench",    "ok",       "wall_ms",         "n_values",
-    "measured", "predicted_bound", "messages_by_type"};
+    "measured", "predicted_bound", "messages_by_type", "provenance"};
 
 const std::vector<std::string> report_keys = {
     "label",    "variant",  "nodes", "total_messages", "messages_by_type",
@@ -175,6 +175,75 @@ bool check_watchdog(const std::string& path, const json_value& wd) {
   return ok;
 }
 
+/// "profile" (report_version >= 3): {"armed": bool, "loop_ticks",
+/// "attributed_fraction", "phases": [...], "tags": [...]} with every
+/// bucket entry carrying {name, count, ticks, ns}.
+bool check_profile(const std::string& path, const json_value& prof) {
+  if (!prof.is_object())
+    return complain(path, prof.offset, "\"profile\" is not an object");
+  bool ok = true;
+  const json_value* armed = prof.find("armed");
+  if (armed == nullptr || !armed->is_bool())
+    ok = complain(path, prof.offset, "profile missing \"armed\" bool");
+  for (const char* k : {"ticks_per_ns", "loop_ticks", "loop_ns", "events",
+                        "sampled_events", "sample_every",
+                        "attributed_fraction"}) {
+    const json_value* v = prof.find(k);
+    if (v == nullptr || !v->is_number())
+      ok = complain(path, prof.offset,
+                    "profile missing numeric \"" + std::string(k) + "\"");
+  }
+  for (const char* list : {"phases", "tags"}) {
+    const json_value* arr = prof.find(list);
+    if (arr == nullptr || !arr->is_array()) {
+      ok = complain(path, prof.offset,
+                    "profile missing \"" + std::string(list) + "\" array");
+      continue;
+    }
+    for (const json_value& e : arr->as_array()) {
+      if (!e.is_object()) {
+        ok = complain(path, e.offset, "profile bucket is not an object");
+        continue;
+      }
+      if (const json_value* n = e.find("name");
+          n == nullptr || !n->is_string())
+        ok = complain(path, e.offset, "profile bucket missing \"name\"");
+      for (const char* k : {"count", "ticks", "ns"}) {
+        const json_value* v = e.find(k);
+        if (v == nullptr || !v->is_number())
+          ok = complain(path, e.offset,
+                        "profile bucket missing numeric \"" + std::string(k) +
+                            "\"");
+      }
+    }
+  }
+  return ok;
+}
+
+/// "provenance": {"schema", "git_sha", "build_type", "compiler", "host"} —
+/// the shared stamp bench_report.h writes into every BENCH_*.json.
+bool check_provenance(const std::string& path, const json_value& prov) {
+  if (!prov.is_object())
+    return complain(path, prov.offset, "\"provenance\" is not an object");
+  bool ok = true;
+  if (const json_value* v = prov.find("schema"); v == nullptr || !v->is_number())
+    ok = complain(path, prov.offset, "provenance missing numeric \"schema\"");
+  for (const char* k : {"git_sha", "build_type", "compiler", "host"}) {
+    const json_value* v = prov.find(k);
+    if (v == nullptr || !v->is_string())
+      ok = complain(path, prov.offset,
+                    "provenance missing string \"" + std::string(k) + "\"");
+  }
+  return ok;
+}
+
+bool check_bench(const std::string& path, const json_value& doc) {
+  bool ok = check_keys(path, doc, bench_keys);
+  if (const json_value* prov = doc.find("provenance"))
+    ok = check_provenance(path, *prov) && ok;
+  return ok;
+}
+
 bool check_report(const std::string& path, const json_value& doc) {
   bool ok = check_report_version(path, doc);
   ok = check_keys(path, doc, report_keys) && ok;
@@ -182,6 +251,13 @@ bool check_report(const std::string& path, const json_value& doc) {
     ok = check_series(path, *series) && ok;
   if (const json_value* wd = doc.find("watchdog"))
     ok = check_watchdog(path, *wd) && ok;
+  // "profile" exists from version 3 on; at v2 its absence is fine.
+  const json_value* ver = doc.find("report_version");
+  const bool v3 = ver != nullptr && ver->is_number() && ver->as_number() >= 3;
+  const json_value* prof = doc.find("profile");
+  if (v3 && prof == nullptr)
+    ok = complain(path, doc.offset, "missing required key \"profile\"");
+  if (prof != nullptr) ok = check_profile(path, *prof) && ok;
   return ok;
 }
 
@@ -284,7 +360,7 @@ int check_file(const std::string& path, mode m) {
   }
   bool ok = true;
   switch (m) {
-    case mode::bench: ok = check_keys(path, *doc, bench_keys); break;
+    case mode::bench: ok = check_bench(path, *doc); break;
     case mode::report: ok = check_report(path, *doc); break;
     case mode::trace: ok = check_trace(path, *doc); break;
   }
@@ -296,10 +372,13 @@ void print_help(std::ostream& os) {
   os << "usage: json_check [--report|--bench|--trace] FILE...\n"
         "\n"
         "Validates telemetry JSON (see docs/OBSERVABILITY.md):\n"
-        "  --bench   bench reports (default): required key set\n"
+        "  --bench   bench reports (default): required key set plus the\n"
+        "            provenance stamp {schema, git_sha, build_type,\n"
+        "            compiler, host}\n"
         "  --report  run reports: known report_version, required keys,\n"
         "            series sample times strictly increasing with\n"
-        "            equal-length columns, watchdog shape\n"
+        "            equal-length columns, watchdog shape, profile shape\n"
+        "            (required from report_version 3 on)\n"
         "  --trace   Chrome trace-event / Perfetto traces: well-formed\n"
         "            events, balanced s/f flow pairs, counter values\n"
         "\n"

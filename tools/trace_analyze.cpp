@@ -1,5 +1,7 @@
 // trace_analyze — read a causal trace (discovery_cli --trace / Perfetto
-// JSON) and explain the run: critical path, fan-out, per-type latency.
+// JSON) and explain the run: critical path, fan-out, per-type latency,
+// and (with --parallelism) the trace-derived concurrency profile that
+// sizes the parallel-scheduler work (ROADMAP item 1).
 //
 //   trace_analyze [options] FILE...
 //     --path-lines N   print at most N hops of the critical path (default 24)
@@ -9,12 +11,25 @@
 //                      trip or checker violation), not causal traces:
 //                      prints the event mix, the tail of the ring, and the
 //                      cause chain ending at the final event
+//     --parallelism    compute the parallelism profile per FILE: width
+//                      histogram over virtual-time buckets, total-work /
+//                      critical-path ratio (the available speedup), and
+//                      per-link lookahead slack — and write the rows as a
+//                      bench report (default BENCH_parallelism.json)
+//     --bucket N       virtual-time bucket size for --parallelism
+//                      (default 1 = exact times)
+//     --label NAME     row-label prefix for the next FILE (repeatable, one
+//                      per file in order; default: the file's basename)
+//     --json PATH      bench-report output path for --parallelism
+//     --no-json        skip the bench-report file
 //
 // The trace is self-contained: every 'X' slice carries its causal record
 // (id, cause, release, lamport) in "args", so the genealogy is rebuilt from
 // the JSON alone and re-verified here — lamport values must satisfy
-// max(parent lamports) + 1.  Exit 0 iff every file parses, reconstructs,
-// and passes the consistency checks.
+// max(parent lamports) + 1.
+//
+// Exit codes follow json_check's classified convention (see --help):
+//   0 ok / 2 usage / 3 io / 4 parse / 5 schema
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -23,8 +38,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "telemetry/critical_path.h"
 #include "telemetry/json.h"
+#include "telemetry/parallelism.h"
 #include "telemetry/tracer.h"
 
 namespace {
@@ -35,6 +52,14 @@ using telemetry::json_value;
 using telemetry::trace_event;
 using telemetry::trace_none;
 
+// Exit codes (also the per-file failure classification), aligned with
+// tools/json_check.cpp.
+constexpr int exit_ok = 0;
+constexpr int exit_usage = 2;
+constexpr int exit_io = 3;
+constexpr int exit_parse = 4;
+constexpr int exit_schema = 5;
+
 std::uint64_t num_or(const json_value& obj, std::string_view key,
                      std::uint64_t fallback) {
   const json_value* v = obj.find(key);
@@ -43,26 +68,30 @@ std::uint64_t num_or(const json_value& obj, std::string_view key,
 }
 
 /// Rebuilds trace events from the 'X' slices of a trace document.
-/// Returns false (with a message) if the file is not a usable trace.
-bool load_trace(const std::string& path, std::vector<trace_event>& out) {
+/// Returns a classified exit code (exit_ok on success).
+int load_trace(const std::string& path, std::vector<trace_event>& out) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << path << ": cannot open\n";
-    return false;
+    return exit_io;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    std::cerr << path << ": read error\n";
+    return exit_io;
+  }
   std::string err;
   const auto doc = json_parse(buf.str(), &err);
   if (!doc.has_value()) {
     std::cerr << path << ": parse error: " << err << '\n';
-    return false;
+    return exit_parse;
   }
   const json_value* evs = doc->find("traceEvents");
   if (evs == nullptr || !evs->is_array()) {
     std::cerr << path << ": no \"traceEvents\" array (at byte "
               << doc->offset << ")\n";
-    return false;
+    return exit_schema;
   }
   for (const json_value& ev : evs->as_array()) {
     const json_value* ph = ev.find("ph");
@@ -74,7 +103,7 @@ bool load_trace(const std::string& path, std::vector<trace_event>& out) {
         cat == nullptr) {
       std::cerr << path << ": slice without args/name/cat (at byte "
                 << ev.offset << ")\n";
-      return false;
+      return exit_schema;
     }
     trace_event t;
     t.id = num_or(*args, "id", 0);
@@ -97,14 +126,14 @@ bool load_trace(const std::string& path, std::vector<trace_event>& out) {
   }
   if (out.empty()) {
     std::cerr << path << ": trace contains no activations\n";
-    return false;
+    return exit_schema;
   }
-  return true;
+  return exit_ok;
 }
 
 /// Recomputes every Lamport timestamp from the parent edges and compares
 /// with what the file claims; also recomputes the binding parent.
-bool verify_and_bind(const std::string& path, std::vector<trace_event>& evs) {
+int verify_and_bind(const std::string& path, std::vector<trace_event>& evs) {
   std::unordered_map<std::uint64_t, const trace_event*> by_id;
   by_id.reserve(evs.size());
   const auto lamport_of = [&](std::uint64_t id) -> std::uint64_t {
@@ -119,7 +148,7 @@ bool verify_and_bind(const std::string& path, std::vector<trace_event>& evs) {
     if (e.lamport != want) {
       std::cerr << path << ": event " << e.id << " claims lamport "
                 << e.lamport << ", causal parents imply " << want << '\n';
-      return false;
+      return exit_schema;
     }
     if (e.cause == trace_none && e.release == trace_none)
       e.parent = trace_none;
@@ -128,7 +157,7 @@ bool verify_and_bind(const std::string& path, std::vector<trace_event>& evs) {
                           : e.release;
     by_id.emplace(e.id, &e);
   }
-  return true;
+  return exit_ok;
 }
 
 void print_path(const telemetry::critical_path& cp, std::size_t max_lines) {
@@ -156,10 +185,11 @@ void print_path(const telemetry::critical_path& cp, std::size_t max_lines) {
   std::cout << '\n';
 }
 
-bool analyze(const std::string& path, std::size_t path_lines, bool quiet) {
+int analyze(const std::string& path, std::size_t path_lines, bool quiet) {
   std::vector<trace_event> evs;
-  if (!load_trace(path, evs)) return false;
-  if (!verify_and_bind(path, evs)) return false;
+  if (const int code = load_trace(path, evs); code != exit_ok) return code;
+  if (const int code = verify_and_bind(path, evs); code != exit_ok)
+    return code;
 
   std::cout << "== " << path << " ==\n";
   std::uint64_t wakes = 0, delivers = 0;
@@ -184,7 +214,79 @@ bool analyze(const std::string& path, std::size_t path_lines, bool quiet) {
   for (const auto& [type, tl] : telemetry::latency_by_type(evs))
     std::cout << "  " << type << ": n=" << tl.count << " mean="
               << tl.mean_delay() << " max=" << tl.max_delay << '\n';
-  return true;
+  return exit_ok;
+}
+
+/// One --parallelism result, kept for the bench-report emission.
+struct parallelism_result {
+  std::string label;
+  telemetry::parallelism_profile profile;
+};
+
+int analyze_parallelism(const std::string& path, const std::string& label,
+                        sim::sim_time bucket,
+                        std::vector<parallelism_result>& results) {
+  std::vector<trace_event> evs;
+  if (const int code = load_trace(path, evs); code != exit_ok) return code;
+  if (const int code = verify_and_bind(path, evs); code != exit_ok)
+    return code;
+
+  const auto p = telemetry::compute_parallelism(evs, bucket);
+  std::cout << "== " << path << " (parallelism, label " << label << ") ==\n";
+  std::cout << "work: " << p.activations << " activations, critical path "
+            << p.critical_path_len << " -> available speedup "
+            << p.work_cp_ratio << "x\n";
+  std::cout << "width (bucket " << p.bucket << "): mean " << p.mean_width
+            << ", p50 " << p.width.p50() << ", p90 " << p.width.p90()
+            << ", max " << p.max_width << " over " << p.buckets_occupied
+            << " occupied buckets (makespan " << p.makespan << ")\n";
+  std::cout << "lookahead: " << p.links << " links, min " << p.lookahead_min
+            << ", mean " << p.lookahead_mean << ", max " << p.lookahead_max
+            << " (conservative sync window = min)\n";
+  results.push_back({label, p});
+  return exit_ok;
+}
+
+/// Fills the shared bench reporter from the collected profiles: one
+/// deterministic (virtual-time-derived) row per metric, plus the width
+/// histograms under a "parallelism" extra block.
+int emit_parallelism(bench::reporter& rep,
+                     std::vector<parallelism_result> results) {
+  for (const auto& r : results) {
+    const auto& p = r.profile;
+    const double n = static_cast<double>(p.activations);
+    rep.add(r.label + ".activations", n, n, 0.0);
+    rep.add(r.label + ".critical_path", n,
+            static_cast<double>(p.critical_path_len), 0.0);
+    // Brent: mean width can never beat work/span, so the ratio doubles as
+    // the bound the width profile is audited against.
+    rep.add(r.label + ".work_cp_ratio", n, p.work_cp_ratio, 0.0);
+    rep.add(r.label + ".mean_width", n, p.mean_width, p.work_cp_ratio);
+    rep.add(r.label + ".max_width", n, static_cast<double>(p.max_width), 0.0);
+    rep.add(r.label + ".lookahead_min", n,
+            static_cast<double>(p.lookahead_min), 0.0);
+  }
+  rep.set_extra([results = std::move(results)](telemetry::json_writer& w) {
+    w.key("parallelism").begin_object();
+    for (const auto& r : results) {
+      const auto& p = r.profile;
+      w.key(r.label).begin_object();
+      w.kv("bucket", p.bucket);
+      w.kv("makespan", p.makespan);
+      w.kv("buckets_occupied", p.buckets_occupied);
+      w.key("width");
+      p.width.write_json(w);
+      w.key("lookahead").begin_object();
+      w.kv("links", p.links);
+      w.kv("min", p.lookahead_min);
+      w.kv("mean", p.lookahead_mean);
+      w.kv("max", p.lookahead_max);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_object();
+  });
+  return rep.finish(true) == 0 ? exit_ok : exit_io;
 }
 
 /// One entry of a flight-recorder dump, as parsed back from the JSON.
@@ -215,33 +317,37 @@ void print_flight_row(const flight_row& r) {
 /// event mix, the tail of the ring, and the cause chain that produced the
 /// final event — the postmortem view of "what was the run doing when it
 /// died".  Exit-0 criterion: the file parses and matches the flight schema.
-bool analyze_flight(const std::string& path, std::size_t path_lines,
-                    bool quiet) {
+int analyze_flight(const std::string& path, std::size_t path_lines,
+                   bool quiet) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << path << ": cannot open\n";
-    return false;
+    return exit_io;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    std::cerr << path << ": read error\n";
+    return exit_io;
+  }
   std::string err;
   const auto doc = json_parse(buf.str(), &err);
   if (!doc.has_value()) {
     std::cerr << path << ": parse error: " << err << '\n';
-    return false;
+    return exit_parse;
   }
   const json_value* dump_kind = doc->find("kind");
   if (dump_kind == nullptr || !dump_kind->is_string() ||
       dump_kind->as_string() != "flight") {
     std::cerr << path << ": not a flight dump (\"kind\" != \"flight\", at byte "
               << doc->offset << ")\n";
-    return false;
+    return exit_schema;
   }
   const json_value* evs = doc->find("events");
   if (evs == nullptr || !evs->is_array()) {
     std::cerr << path << ": no \"events\" array (at byte " << doc->offset
               << ")\n";
-    return false;
+    return exit_schema;
   }
 
   std::vector<flight_row> rows;
@@ -253,7 +359,7 @@ bool analyze_flight(const std::string& path, std::size_t path_lines,
     if (!ev.is_object() || k == nullptr || !k->is_string()) {
       std::cerr << path << ": event without \"kind\" (at byte " << ev.offset
                 << ")\n";
-      return false;
+      return exit_schema;
     }
     flight_row r;
     r.kind = k->as_string();
@@ -261,7 +367,7 @@ bool analyze_flight(const std::string& path, std::size_t path_lines,
     if (r.at < prev_at) {
       std::cerr << path << ": events out of time order (at byte " << ev.offset
                 << ")\n";
-      return false;
+      return exit_schema;
     }
     prev_at = r.at;
     r.id = num_or(ev, "id", trace_none);
@@ -279,7 +385,7 @@ bool analyze_flight(const std::string& path, std::size_t path_lines,
     } else {
       std::cerr << path << ": unknown event kind \"" << r.kind
                 << "\" (at byte " << ev.offset << ")\n";
-      return false;
+      return exit_schema;
     }
     ++by_kind[r.kind];
     rows.push_back(std::move(r));
@@ -291,7 +397,7 @@ bool analyze_flight(const std::string& path, std::size_t path_lines,
             << num_or(*doc, "dropped", 0) << " older events dropped\n";
   if (rows.empty()) {
     std::cout << "(empty ring)\n";
-    return true;
+    return exit_ok;
   }
   std::cout << "window: t=" << rows.front().at << " .. t=" << rows.back().at
             << '\n';
@@ -303,7 +409,7 @@ bool analyze_flight(const std::string& path, std::size_t path_lines,
     for (const auto& [t, n] : by_type) std::cout << "  " << t << "=" << n;
     std::cout << '\n';
   }
-  if (quiet) return true;
+  if (quiet) return exit_ok;
 
   const std::size_t tail = std::min(path_lines, rows.size());
   std::cout << "last " << tail << " events:\n";
@@ -332,7 +438,49 @@ bool analyze_flight(const std::string& path, std::size_t path_lines,
     print_flight_row(*cur);
     ++hops;
   }
-  return true;
+  return exit_ok;
+}
+
+std::string basename_label(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base;
+}
+
+void print_help(std::ostream& os) {
+  os << "usage: trace_analyze [options] FILE...\n"
+        "\n"
+        "Explains a causal trace (discovery_cli --trace) or a flight dump.\n"
+        "\n"
+        "options:\n"
+        "  --path-lines N  print at most N hops of the critical path\n"
+        "                  (default 24)\n"
+        "  --quiet         summary lines only\n"
+        "  --flight        FILEs are flight-recorder dumps\n"
+        "  --parallelism   compute the parallelism profile per FILE (width\n"
+        "                  histogram per virtual-time bucket, work /\n"
+        "                  critical-path ratio, per-link lookahead) and\n"
+        "                  write the rows as a bench report\n"
+        "  --bucket N      virtual-time bucket size (default 1)\n"
+        "  --label NAME    row-label prefix for the next FILE (repeatable;\n"
+        "                  default: the file's basename)\n"
+        "  --json PATH     bench-report path (default\n"
+        "                  BENCH_parallelism.json)\n"
+        "  --no-json       skip the bench-report file\n"
+        "\n"
+        "exit codes (aligned with json_check):\n"
+        "  0  every file analyzes cleanly\n"
+        "  2  usage error\n"
+        "  3  I/O error (file unreadable, report unwritable)\n"
+        "  4  parse error (not JSON)\n"
+        "  5  schema violation (not a trace / flight dump, or the causal\n"
+        "     record is inconsistent: a lamport value contradicts its\n"
+        "     parents)\n"
+        "With several failing files the exit code is the first failure's;\n"
+        "every file is still analyzed and reported.\n";
 }
 
 }  // namespace
@@ -341,9 +489,10 @@ int main(int argc, char** argv) {
   std::size_t path_lines = 24;
   bool quiet = false;
   bool flight = false;
+  bool parallelism = false;
+  sim::sim_time bucket = 1;
   std::vector<std::string> files;
-  constexpr const char* usage =
-      "usage: trace_analyze [--path-lines N] [--quiet] [--flight] FILE...\n";
+  std::vector<std::string> labels;  // parallel to files; "" = basename
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--path-lines" && i + 1 < argc) {
@@ -352,21 +501,52 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (a == "--flight") {
       flight = true;
+    } else if (a == "--parallelism") {
+      parallelism = true;
+    } else if (a == "--bucket" && i + 1 < argc) {
+      bucket = std::stoull(argv[++i]);
+    } else if (a == "--label" && i + 1 < argc) {
+      labels.resize(files.size());
+      labels.push_back(argv[++i]);
+    } else if (a == "--json" && i + 1 < argc) {
+      ++i;  // consumed by bench::reporter
+    } else if (a == "--no-json") {
+      // consumed by bench::reporter
+    } else if (a == "--help" || a == "-h") {
+      print_help(std::cout);
+      return exit_ok;
     } else if (!a.empty() && a[0] == '-') {
-      std::cerr << usage;
-      return 2;
+      std::cerr << "trace_analyze: unknown option " << a << '\n';
+      print_help(std::cerr);
+      return exit_usage;
     } else {
       files.push_back(a);
     }
   }
-  if (files.empty()) {
-    std::cerr << usage;
-    return 2;
+  if (files.empty() || (flight && parallelism)) {
+    print_help(std::cerr);
+    return exit_usage;
   }
-  bool all_ok = true;
-  for (const std::string& f : files)
-    all_ok = (flight ? analyze_flight(f, path_lines, quiet)
-                     : analyze(f, path_lines, quiet)) &&
-             all_ok;
-  return all_ok ? 0 : 1;
+  labels.resize(files.size());
+
+  int first_failure = exit_ok;
+  const auto classify = [&](int code) {
+    if (code != exit_ok && first_failure == exit_ok) first_failure = code;
+  };
+  std::vector<parallelism_result> results;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string label =
+        labels[i].empty() ? basename_label(files[i]) : labels[i];
+    if (flight)
+      classify(analyze_flight(files[i], path_lines, quiet));
+    else if (parallelism)
+      classify(analyze_parallelism(files[i], label, bucket, results));
+    else
+      classify(analyze(files[i], path_lines, quiet));
+  }
+  if (parallelism && first_failure == exit_ok && !results.empty()) {
+    bench::reporter rep("parallelism", argc, argv);
+    classify(emit_parallelism(rep, std::move(results)));
+  }
+  return first_failure;
 }
