@@ -26,6 +26,9 @@
 //     --profile         arm the hot-path cost profiler: where the event
 //                       loop's cycles go, by phase and message type (adds
 //                       a "profile" block to --json and a stdout summary)
+//     --shards N        run through the parallel engine with N worker
+//                       shards (0 = hardware concurrency); byte-identical
+//                       with the serial loop at every shard count
 //
 // Examples:
 //   echo "0 1
@@ -71,7 +74,8 @@ using namespace asyncrd;
       "  --series N            sample health series every N ticks\n"
       "  --watchdog W          stall watchdog, window W (trip => exit 3)\n"
       "  --flight PATH         write flight-recorder ring to PATH at exit\n"
-      "  --profile             hot-path cost attribution (in --json too)\n";
+      "  --profile             hot-path cost attribution (in --json too)\n"
+      "  --shards N            parallel engine, N worker shards (0 = cores)\n";
   std::exit(2);
 }
 
@@ -128,7 +132,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string gen_spec, input, json_path, trace_path, chaos_spec, flight_path;
   std::uint64_t series_interval = 0, watchdog_window = 0;
-  bool want_dot = false, quiet = false, profile = false;
+  bool want_dot = false, quiet = false, profile = false, parallel = false;
+  std::size_t shards = 0;
   node_id probe_from = invalid_node;
 
   for (int i = 1; i < argc; ++i) {
@@ -150,6 +155,10 @@ int main(int argc, char** argv) {
     else if (a == "--watchdog") watchdog_window = std::stoull(next());
     else if (a == "--flight") flight_path = next();
     else if (a == "--profile") profile = true;
+    else if (a == "--shards") {
+      parallel = true;
+      shards = std::stoull(next());
+    }
     else if (a == "--version") {
       std::cout << "asyncrd " << asyncrd::version << '\n';
       return 0;
@@ -211,7 +220,7 @@ int main(int argc, char** argv) {
     run.net().add_observer(tr.get());
   }
   run.wake_all();
-  const auto r = run.run();
+  const auto r = parallel ? run.run_parallel(shards) : run.run();
 
   // Postmortem ring: written on every exit path once armed, so a failing
   // run always leaves its last-K scheduler events behind.

@@ -88,6 +88,22 @@ std::size_t cached_blocks() noexcept;
 /// Frees every cached block of the calling thread back to the heap.
 void trim() noexcept;
 
+/// Frees every block cached on the cross-thread reclaim list.
+void trim_global() noexcept;
+
+/// Pool occupancy and cross-thread migration counters.  The thread_*
+/// fields describe the calling thread's cache; the reclaim counters are
+/// cumulative and process-wide (telemetry::record_pool exports them).
+struct pool_stats {
+  std::size_t thread_cached_blocks = 0;
+  std::size_t thread_cached_bytes = 0;
+  std::size_t global_cached_blocks = 0;
+  std::uint64_t reclaim_donations = 0;  ///< blocks spilled thread -> global
+  std::uint64_t reclaim_grabs = 0;      ///< blocks refilled global -> thread
+};
+
+pool_stats stats() noexcept;
+
 }  // namespace pool_detail
 
 /// Minimal allocator over the thread-local message pool, for

@@ -1,0 +1,566 @@
+#include "sim/parallel_engine.h"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/flight_recorder.h"
+#include "sim/profiler.h"
+
+namespace asyncrd::sim {
+
+/// One shard's side of a window: the deferral log handler effects land in
+/// during the phase, plus per-shard counters and a private profiler so
+/// workers never share mutable state.  Logs are append-only during the
+/// phase and drained by the coordinator at the barrier.
+struct parallel_engine::shard_ctx final : deferral_sink {
+  struct record {
+    enum class kind : std::uint8_t {
+      evt,          ///< start of the records for window event index `a`
+      act_wake,     ///< a = activation id, b = cause, c = release
+      act_deliver,  ///< a = id, b = sent_in, c = released_in, t = sent_at
+      app_send,     ///< application send (from, to, msg)
+      wire_send,    ///< transport send (from, to, msg)
+      timer_arm,    ///< a = delay, b = key
+      user,         ///< opaque (a, b, c) for the engine's user_replay
+    };
+    kind k = kind::evt;
+    std::uint8_t tag = 0;
+    node_id from = invalid_node;
+    node_id to = invalid_node;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    sim_time t = 0;
+    message_ptr msg;
+  };
+
+  std::vector<record> log;
+  std::size_t cursor = 0;          ///< replay position
+  std::uint64_t app_deliveries = 0;
+  cost_profiler prof;
+  bool prof_armed = false;
+
+  void push_evt(std::uint64_t index) {
+    record r;
+    r.k = record::kind::evt;
+    r.a = index;
+    log.push_back(std::move(r));
+  }
+  void push_act_wake(std::uint64_t id, std::uint64_t cause,
+                     std::uint64_t release, node_id who) {
+    record r;
+    r.k = record::kind::act_wake;
+    r.a = id;
+    r.b = cause;
+    r.c = release;
+    r.from = who;
+    log.push_back(std::move(r));
+  }
+  void push_act_deliver(std::uint64_t id, std::uint64_t sent_in,
+                        std::uint64_t released_in, sim_time sent_at,
+                        node_id from, node_id to, message_ptr m) {
+    record r;
+    r.k = record::kind::act_deliver;
+    r.a = id;
+    r.b = sent_in;
+    r.c = released_in;
+    r.t = sent_at;
+    r.from = from;
+    r.to = to;
+    r.tag = m->dispatch_tag();
+    r.msg = std::move(m);
+    log.push_back(std::move(r));
+  }
+
+  // --- deferral_sink (called from network entry points in the phase) -----
+  void defer_app_send(node_id from, node_id to, message_ptr m) override {
+    record r;
+    r.k = record::kind::app_send;
+    r.from = from;
+    r.to = to;
+    r.msg = std::move(m);
+    log.push_back(std::move(r));
+  }
+  void defer_wire_send(node_id from, node_id to, message_ptr m) override {
+    record r;
+    r.k = record::kind::wire_send;
+    r.from = from;
+    r.to = to;
+    r.msg = std::move(m);
+    log.push_back(std::move(r));
+  }
+  void defer_timer(sim_time delay, std::uint64_t key) override {
+    record r;
+    r.k = record::kind::timer_arm;
+    r.a = delay;
+    r.b = key;
+    log.push_back(std::move(r));
+  }
+  void defer_user(std::uint64_t a, std::uint64_t b, std::uint64_t c) override {
+    record r;
+    r.k = record::kind::user;
+    r.a = a;
+    r.b = b;
+    r.c = c;
+    log.push_back(std::move(r));
+  }
+  void note_app_delivery() override { ++app_deliveries; }
+};
+
+parallel_engine::parallel_engine(network& net, parallel_config cfg)
+    : net_(&net), cfg_(std::move(cfg)) {
+  shard_count_ = cfg_.shards;
+  if (shard_count_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shard_count_ = hw == 0 ? 1 : hw;
+  }
+  shards_.reserve(shard_count_);
+  for (std::size_t i = 0; i < shard_count_; ++i)
+    shards_.push_back(std::make_unique<shard_ctx>());
+  if (shard_count_ > 1) pool_ = std::make_unique<worker_pool>(shard_count_);
+}
+
+parallel_engine::~parallel_engine() = default;
+
+run_result parallel_engine::run(std::uint64_t max_events) {
+  network& net = *net_;
+  if (net.manual_mode_)
+    throw std::logic_error("parallel_engine: manual mode has no event loop");
+  net.finalize_id_bits();
+  // Channels that existed before this run (driver traffic) must have their
+  // adapter-side receive state ready before any worker touches them.
+  prepare_new_channels();
+  const bool prof_armed = net.prof_ != nullptr;
+  for (auto& sc : shards_) {
+    sc->prof_armed = prof_armed;
+    if (prof_armed) sc->prof.set_sample_every(net.prof_->sample_every());
+  }
+  // Same outer loop as network::run: quiescence hooks re-inject work, the
+  // idle-iteration guard catches a stuck hook.
+  run_result total;
+  int idle_iterations = 0;
+  for (;;) {
+    run_result r = run_windows(max_events - total.events_processed);
+    total.events_processed += r.events_processed;
+    if (!r.completed) {
+      total.completed = false;
+      total.stopped = r.stopped;
+      break;
+    }
+    idle_iterations = (r.events_processed == 0) ? idle_iterations + 1 : 0;
+    if (idle_iterations > 2) {
+      total.completed = false;
+      break;
+    }
+    if (!net.sched_->on_quiescence(net)) break;
+  }
+  if (prof_armed) {
+    for (auto& sc : shards_) {
+      net.prof_->merge_from(sc->prof);
+      sc->prof.reset();
+    }
+  }
+  return total;
+}
+
+run_result parallel_engine::run_windows(std::uint64_t max_events) {
+  network& net = *net_;
+  net.stop_requested_ = false;
+  run_result r;
+  const auto start = std::chrono::steady_clock::now();
+  cost_profiler* prof = net.prof_;
+  if (prof != nullptr) prof->loop_enter();
+  while (!net.events_.empty()) {
+    if (r.events_processed >= max_events) {
+      r.completed = false;
+      break;
+    }
+    const sim_time at = net.events_.peek_time();
+    if (at >= net.next_probe_) {
+      // Serial probe fidelity: a probe fires after the *first* event at or
+      // past its due time, mid-tick.  Dispatch the seq-least event solo
+      // (through the same defer+replay machinery), probe, resume.
+      process_solo();
+      ++r.events_processed;
+      {
+        prof_scope ps(prof, cost_profiler::phase::probes);
+        net.fire_probes();
+      }
+      if (net.stop_requested_) {
+        r.completed = false;
+        r.stopped = true;
+        break;
+      }
+      continue;
+    }
+    win_events_.clear();
+    sim_time t;
+    {
+      prof_scope ps(prof, cost_profiler::phase::queue_pop);
+      t = net.events_.drain_next(win_events_);
+    }
+    process_window(t);
+    r.events_processed += win_events_.size();
+    if (r.events_processed > max_events) {
+      // The cap landed inside this window.  Windows complete atomically
+      // (drained events cannot be re-queued), so the cap hit is reported
+      // with the overshoot included — same completed=false verdict the
+      // serial loop gives, reached at window granularity.
+      r.completed = false;
+      break;
+    }
+  }
+  if (prof != nullptr) prof->loop_exit();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ++net.timing_.loops;
+  net.timing_.events += r.events_processed;
+  net.timing_.wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  net.sched_->on_run_timing(net.timing_);
+  return r;
+}
+
+void parallel_engine::process_solo() {
+  network& net = *net_;
+  win_events_.clear();
+  {
+    prof_scope ps(net.prof_, cost_profiler::phase::queue_pop);
+    win_events_.push_back(net.events_.pop());
+  }
+  ++stats_.solo_events;
+  process_window(win_events_.front().at);
+}
+
+void parallel_engine::process_window(sim_time at) {
+  network& net = *net_;
+  net.now_ = at;
+  {
+    prof_scope ps(net.prof_, cost_profiler::phase::queue_pop);
+    prepass();
+  }
+  const std::size_t count = win_events_.size();
+  ++stats_.windows;
+  if (count > stats_.max_window_events) stats_.max_window_events = count;
+  const bool fan_out =
+      pool_ != nullptr && count >= cfg_.serial_window_threshold;
+  net.deferred_ = true;
+  try {
+    if (fan_out) {
+      ++stats_.parallel_windows;
+      pool_->run([this](std::size_t w) { run_phase(w); });
+    } else {
+      ++stats_.serial_windows;
+      run_phase_inline();
+    }
+  } catch (...) {
+    net.deferred_ = false;
+    network::set_thread_deferral(nullptr);
+    throw;
+  }
+  net.deferred_ = false;
+  replay();
+  merge_window();
+}
+
+void parallel_engine::prepass() {
+  network& net = *net_;
+  plan_.clear();
+  plan_.resize(win_events_.size());
+  if (woken_stamp_.size() < net.slots_.size())
+    woken_stamp_.resize(net.slots_.size(), 0);
+  ++stamp_gen_;
+  std::uint64_t id_cursor = net.next_event_id_;
+  for (std::size_t i = 0; i < win_events_.size(); ++i) {
+    const network::event& ev = win_events_[i];
+    eplan& pl = plan_[i];
+    switch (ev.kind) {
+      case network::event_kind::wake: {
+        const std::uint32_t idx = ev.target;
+        pl.to_index = idx;
+        pl.shard = static_cast<std::uint32_t>(idx % shard_count_);
+        const bool awake =
+            net.slots_[idx].awake || woken_stamp_[idx] == stamp_gen_;
+        if (!awake) {
+          pl.n_ids = 1;
+          woken_stamp_[idx] = stamp_gen_;
+        }
+        break;
+      }
+      case network::event_kind::deliver: {
+        network::channel& ch = net.channels_[ev.target];
+        assert(!ch.queue.empty());
+        // FIFO pop happens here, serially in (at, seq) order, so the phase
+        // never mutates channel queues and mixed in-window/at-barrier
+        // deliveries on one channel still release heads in seq order.
+        pl.q = std::move(ch.queue.front());
+        ch.queue.pop_front();
+        --net.in_flight_;
+        pl.from = ch.from;
+        pl.to = ch.to;
+        pl.to_index = ch.to_index;
+        pl.shard = static_cast<std::uint32_t>(pl.to_index % shard_count_);
+        pl.barrier = net.adapter_ != nullptr &&
+                     !net.adapter_->deliver_in_window(*pl.q.m);
+        const bool awake = net.slots_[pl.to_index].awake ||
+                           woken_stamp_[pl.to_index] == stamp_gen_;
+        pl.n_ids = awake ? 1 : 2;
+        if (!awake) {
+          // deliver_in_window contract: a barrier-classified message can
+          // only arrive at an awake node (an ARQ ack's destination sent
+          // data, so it woke long ago).  A sleeping target would make the
+          // phase run handlers before the node's serial on_wake.
+          ASYNCRD_CHECK(!pl.barrier &&
+                        "barrier-classified delivery to a sleeping node");
+          woken_stamp_[pl.to_index] = stamp_gen_;
+        }
+        break;
+      }
+      case network::event_kind::timer: {
+        // Timers mutate adapter sender state and draw from jitter streams:
+        // always serial, always at the barrier, in seq position.
+        pl.barrier = true;
+        break;
+      }
+    }
+    pl.base_id = id_cursor;
+    id_cursor += pl.n_ids;
+  }
+  win_id_end_ = id_cursor;
+}
+
+void parallel_engine::run_phase(std::size_t worker) {
+  shard_ctx& sc = *shards_[worker];
+  network::set_thread_deferral(&sc);
+  try {
+    const std::size_t n = win_events_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const eplan& pl = plan_[i];
+      if (pl.shard == worker && !pl.barrier) dispatch_deferred(i, sc);
+    }
+  } catch (...) {
+    network::set_thread_deferral(nullptr);
+    throw;
+  }
+  network::set_thread_deferral(nullptr);
+}
+
+void parallel_engine::run_phase_inline() {
+  const std::size_t n = win_events_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const eplan& pl = plan_[i];
+    if (pl.barrier) continue;
+    shard_ctx& sc = *shards_[pl.shard];
+    network::set_thread_deferral(&sc);
+    dispatch_deferred(i, sc);
+  }
+  network::set_thread_deferral(nullptr);
+}
+
+void parallel_engine::dispatch_deferred(std::size_t i, shard_ctx& sc) {
+  network& net = *net_;
+  const network::event& ev = win_events_[i];
+  const eplan& pl = plan_[i];
+  sc.push_evt(i);
+  cost_profiler* prof = sc.prof_armed ? &sc.prof : nullptr;
+  if (prof != nullptr) prof->event_begin();
+  switch (ev.kind) {
+    case network::event_kind::wake: {
+      // The pre-pass is the ground truth for wake consumption: n_ids == 0
+      // means the node was (or will have been, in seq order) awake.
+      if (pl.n_ids == 1) {
+        network::node_slot& slot = net.slots_[ev.target];
+        slot.awake = true;
+        sc.push_act_wake(pl.base_id, ev.cause, trace_context::none, slot.id);
+        process* proc = slot.proc.get();
+        context ctx(net, slot.id);
+        prof_scope ps(prof, cost_profiler::phase::wake);
+        proc->on_wake(ctx);
+      }
+      break;
+    }
+    case network::event_kind::deliver: {
+      std::uint64_t id = pl.base_id;
+      if (pl.n_ids == 2) {
+        network::node_slot& slot = net.slots_[pl.to_index];
+        slot.awake = true;
+        // A message-induced wake shares the arriving message's causes.
+        sc.push_act_wake(id, pl.q.sent_in, pl.q.released_in, slot.id);
+        process* proc = slot.proc.get();
+        context ctx(net, slot.id);
+        {
+          prof_scope ps(prof, cost_profiler::phase::wake);
+          proc->on_wake(ctx);
+        }
+        ++id;
+      }
+      sc.push_act_deliver(id, pl.q.sent_in, pl.q.released_in, pl.q.sent_at,
+                          pl.from, pl.to, pl.q.m);
+      if (net.adapter_ != nullptr) {
+        // In-window transport delivery (ARQ data): receive-side state is
+        // owned by this shard; released app messages run here, acks the
+        // adapter emits are deferred.
+        prof_scope ps(prof, cost_profiler::phase::arq);
+        net.adapter_->transport_deliver(pl.from, pl.to, pl.q.m);
+      } else {
+        ++sc.app_deliveries;
+        process* proc = net.slots_[pl.to_index].proc.get();
+        context ctx(net, pl.to);
+        prof_scope ps(prof, pl.q.m->dispatch_tag(), prof_scope::tag_t{});
+        proc->on_message(ctx, pl.from, pl.q.m);
+      }
+      break;
+    }
+    case network::event_kind::timer:
+      break;  // barrier-replayed, never phase-dispatched
+  }
+  if (prof != nullptr) prof->event_end();
+}
+
+void parallel_engine::replay() {
+  network& net = *net_;
+  for (auto& sc : shards_) sc->cursor = 0;
+  const std::size_t n = win_events_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const eplan& pl = plan_[i];
+    net.next_event_id_ = pl.base_id;
+    if (pl.barrier)
+      replay_barrier_event(i);
+    else
+      replay_log_event(i, *shards_[pl.shard]);
+  }
+  net.next_event_id_ = win_id_end_;
+  prepare_new_channels();
+}
+
+void parallel_engine::replay_log_event(std::size_t i, shard_ctx& sc) {
+  network& net = *net_;
+  using record = shard_ctx::record;
+  auto& log = sc.log;
+  ASYNCRD_CHECK(sc.cursor < log.size() &&
+                log[sc.cursor].k == record::kind::evt &&
+                log[sc.cursor].a == i);
+  ++sc.cursor;
+  cost_profiler* prof = net.prof_;
+  bool open = false;
+  while (sc.cursor < log.size() && log[sc.cursor].k != record::kind::evt) {
+    record& r = log[sc.cursor++];
+    ++stats_.deferred_records;
+    switch (r.k) {
+      case record::kind::act_wake: {
+        if (open) net.end_activation();
+        net.next_event_id_ = r.a;
+        net.begin_activation(r.b, r.c, net.now_);
+        open = true;
+        if (net.flight_ != nullptr)
+          net.flight_->record({net.now_, r.a, r.b, r.from, invalid_node,
+                               flight_entry::kind::wake, 0});
+        {
+          prof_scope ps(prof, cost_profiler::phase::observers);
+          net.observers_.on_wake(net.now_, r.from);
+        }
+        break;
+      }
+      case record::kind::act_deliver: {
+        if (open) net.end_activation();
+        net.next_event_id_ = r.a;
+        net.begin_activation(r.b, r.c, r.t);
+        open = true;
+        if (net.flight_ != nullptr)
+          net.flight_->record({net.now_, r.a, r.b, r.from, r.to,
+                               flight_entry::kind::deliver, r.tag});
+        if (!net.observers_.empty()) {
+          prof_scope ps(prof, cost_profiler::phase::observers);
+          net.observers_.on_deliver(net.now_, r.from, r.to, *r.msg);
+        }
+        break;
+      }
+      case record::kind::app_send:
+        // Runs the full serial send path (adapter app_send, fault rolls,
+        // scheduler::delay, seq assignment) under the replayed tctx_.
+        net.send_internal(r.from, r.to, std::move(r.msg));
+        break;
+      case record::kind::wire_send:
+        net.transport_send(r.from, r.to, std::move(r.msg));
+        break;
+      case record::kind::timer_arm:
+        net.schedule_adapter_timer(static_cast<sim_time>(r.a), r.b);
+        break;
+      case record::kind::user:
+        if (cfg_.user_replay) cfg_.user_replay(r.a, r.b, r.c);
+        break;
+      case record::kind::evt:
+        break;  // unreachable: loop guard stops at the next marker
+    }
+  }
+  if (open) net.end_activation();
+}
+
+void parallel_engine::replay_barrier_event(std::size_t i) {
+  network& net = *net_;
+  const network::event& ev = win_events_[i];
+  const eplan& pl = plan_[i];
+  cost_profiler* prof = net.prof_;
+  if (ev.kind == network::event_kind::timer) {
+    if (net.flight_ != nullptr)
+      net.flight_->record({net.now_, flight_entry::none, ev.cause,
+                           invalid_node, invalid_node,
+                           flight_entry::kind::timer, 0});
+    if (net.adapter_ != nullptr) {
+      prof_scope ps(prof, cost_profiler::phase::arq);
+      net.adapter_->on_timer(ev.cause);
+    }
+    return;
+  }
+  // Barrier-classified delivery (ARQ ack): the full serial dispatch runs
+  // here in seq position — minus the channel pop the pre-pass already did.
+  net.ensure_awake(pl.to_index, pl.q.sent_in, pl.q.released_in);
+  net.begin_activation(pl.q.sent_in, pl.q.released_in, pl.q.sent_at);
+  if (net.flight_ != nullptr)
+    net.flight_->record({net.now_, net.tctx_.event_id, pl.q.sent_in, pl.from,
+                         pl.to, flight_entry::kind::deliver,
+                         pl.q.m->dispatch_tag()});
+  if (!net.observers_.empty()) {
+    prof_scope ps(prof, cost_profiler::phase::observers);
+    net.observers_.on_deliver(net.now_, pl.from, pl.to, *pl.q.m);
+  }
+  if (net.adapter_ != nullptr) {
+    prof_scope ps(prof, cost_profiler::phase::arq);
+    net.adapter_->transport_deliver(pl.from, pl.to, pl.q.m);
+  } else {
+    ++net.app_deliveries_;
+    process* proc = net.slots_[pl.to_index].proc.get();
+    context ctx(net, pl.to);
+    prof_scope ps(prof, pl.q.m->dispatch_tag(), prof_scope::tag_t{});
+    proc->on_message(ctx, pl.from, pl.q.m);
+  }
+  net.end_activation();
+}
+
+void parallel_engine::merge_window() {
+  network& net = *net_;
+  for (auto& scp : shards_) {
+    shard_ctx& sc = *scp;
+    net.app_deliveries_ += sc.app_deliveries;
+    sc.app_deliveries = 0;
+    sc.log.clear();
+    sc.cursor = 0;
+  }
+}
+
+void parallel_engine::prepare_new_channels() {
+  network& net = *net_;
+  if (net.adapter_ == nullptr) {
+    prepared_channels_ = net.channels_.size();
+    return;
+  }
+  for (; prepared_channels_ < net.channels_.size(); ++prepared_channels_) {
+    const network::channel& ch = net.channels_[prepared_channels_];
+    net.adapter_->prepare_channel(ch.from, ch.to);
+  }
+}
+
+}  // namespace asyncrd::sim

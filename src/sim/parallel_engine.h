@@ -1,0 +1,143 @@
+// Sharded execution of a *single* simulation with byte-identical replay.
+//
+// The paper's model hands us conservative lookahead for free: every
+// scheduler delay is >= 1 (network::scheduled_delay enforces it), so no
+// event dispatched at virtual time t can schedule work at t — one calendar
+// bucket (one tick) is always a closed causal frontier.  The engine
+// therefore runs the event loop window-by-window:
+//
+//   1. drain  — the coordinator pulls every event of the earliest tick out
+//      of the calendar queue in (at, seq) order (calendar_queue::drain_next);
+//   2. pre-pass — still serial, it pops each delivery's channel head and
+//      pre-assigns the activation ids the window will consume (wake = 1,
+//      deliver = 1 or 2, timer = 0; the awake-state evolution this depends
+//      on is itself replayed in seq order against a per-node stamp array);
+//   3. phase  — events partition across shards by destination slot index
+//      (node state is only ever touched by its own shard) and workers run
+//      the handlers; every side effect — sends, timer arms, observer
+//      callbacks, trace records — is deferred into the shard's ordered log
+//      (network::deferral_sink) instead of executing;
+//   4. replay — back on the coordinator, the logs are walked in the
+//      window's (at, seq) order and the deferred effects execute for real:
+//      scheduler::delay and fault/jitter RNG draws, seq assignment,
+//      calendar pushes, stats, observer fan-out, flight entries all happen
+//      in exactly the serial order, so the merged execution is
+//      byte-identical with network::run — same event (at, seq) total
+//      order, same RNG streams, same activation ids, same reports.
+//
+// Deliveries whose handling mutates cross-shard state (ARQ acks: the
+// *sender's* retransmit state and jitter stream) are classified by the
+// link adapter (link_adapter::deliver_in_window) and executed entirely at
+// the barrier instead, still in seq position.  Probes keep their serial
+// mid-tick semantics: when one is due, the seq-least event is dispatched
+// solo (through the same defer+replay machinery) before the probe fires.
+//
+// What parallelizes is the application handler work (protocol logic,
+// message construction); what stays serial is scheduling and accounting.
+// The 10k-node parallelism profiles (BENCH_parallelism.json) put the
+// available width at 4.2-4.4x — the window protocol's ceiling on a wide
+// host — while determinism stays the acceptance bar, not a casualty.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/sweep.h"
+
+namespace asyncrd::sim {
+
+struct parallel_config {
+  /// Worker shards; 0 = std::thread::hardware_concurrency (min 1).
+  std::size_t shards = 0;
+  /// Windows with fewer events than this run their phase inline on the
+  /// coordinator (same defer+replay semantics, no barrier round-trip).
+  std::size_t serial_window_threshold = 24;
+  /// Replays one record deferred via network::defer_user_record, in serial
+  /// activation order (core::discovery_run routes trace-sink transitions
+  /// through this).
+  std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
+      user_replay;
+};
+
+/// Engine-level accounting for one run (telemetry/benches).
+struct parallel_run_stats {
+  std::uint64_t windows = 0;           ///< synchronization windows executed
+  std::uint64_t parallel_windows = 0;  ///< fanned across the worker pool
+  std::uint64_t serial_windows = 0;    ///< under the threshold, run inline
+  std::uint64_t solo_events = 0;       ///< probe-fidelity solo dispatches
+  std::uint64_t deferred_records = 0;  ///< log entries replayed at barriers
+  std::uint64_t max_window_events = 0; ///< widest window seen
+};
+
+class parallel_engine {
+ public:
+  explicit parallel_engine(network& net, parallel_config cfg = {});
+  ~parallel_engine();
+
+  parallel_engine(const parallel_engine&) = delete;
+  parallel_engine& operator=(const parallel_engine&) = delete;
+
+  std::size_t shards() const noexcept { return shard_count_; }
+  const parallel_run_stats& run_stats() const noexcept { return stats_; }
+
+  /// Drop-in equivalent of network::run: same quiescence-hook loop, same
+  /// idle-iteration guard, same probe and cap semantics, byte-identical
+  /// execution.  Manual mode is not supported (it has no event loop).
+  run_result run(std::uint64_t max_events = network::default_event_cap);
+
+ private:
+  struct shard_ctx;  // per-shard deferral log + counters (parallel_engine.cpp)
+
+  /// Pre-pass output for one window event: where it runs, which activation
+  /// ids it consumes, and (for deliveries) the channel head it releases.
+  struct eplan {
+    std::uint32_t shard = 0;
+    std::uint8_t n_ids = 0;
+    /// True = execute entirely at the barrier in seq position (timers,
+    /// adapter-classified deliveries such as ARQ acks).
+    bool barrier = false;
+    std::uint32_t to_index = 0;
+    std::uint64_t base_id = 0;
+    node_id from = invalid_node;
+    node_id to = invalid_node;
+    network::queued_msg q;
+  };
+
+  run_result run_windows(std::uint64_t max_events);
+  void process_window(sim_time at);
+  void process_solo();
+  void prepass();
+  void run_phase(std::size_t worker);
+  void run_phase_inline();
+  void dispatch_deferred(std::size_t i, shard_ctx& sc);
+  void replay();
+  void replay_log_event(std::size_t i, shard_ctx& sc);
+  void replay_barrier_event(std::size_t i);
+  void merge_window();
+  void prepare_new_channels();
+
+  network* net_;
+  parallel_config cfg_;
+  std::size_t shard_count_;
+  std::vector<std::unique_ptr<shard_ctx>> shards_;
+  std::unique_ptr<worker_pool> pool_;  ///< only when shard_count_ > 1
+  parallel_run_stats stats_;
+
+  // Per-window scratch, reused across windows.
+  std::vector<network::event> win_events_;
+  std::vector<eplan> plan_;
+  std::uint64_t win_id_end_ = 0;  ///< next_event_id_ after this window
+  /// Awake-evolution stamps for the pre-pass (== stamp_gen_ means "woken
+  /// earlier in this window").
+  std::vector<std::uint64_t> woken_stamp_;
+  std::uint64_t stamp_gen_ = 0;
+  /// Channels already announced to the adapter via prepare_channel.
+  std::size_t prepared_channels_ = 0;
+};
+
+}  // namespace asyncrd::sim

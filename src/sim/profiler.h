@@ -186,6 +186,26 @@ class cost_profiler {
     return sum;
   }
 
+  /// Folds another profiler's totals into this one (additive: counts,
+  /// ticks, loop span, event-gate accounting).  The parallel engine keeps
+  /// one profiler per shard so workers never share a stack, then merges
+  /// them into the armed profiler at the end of the run.  Only settled
+  /// totals merge — both profilers must be outside any open span.
+  void merge_from(const cost_profiler& o) noexcept {
+    for (std::size_t i = 0; i < phase_count; ++i) {
+      phases_[i].ticks += o.phases_[i].ticks;
+      phases_[i].count += o.phases_[i].count;
+    }
+    for (std::size_t i = 0; i < tag_count; ++i) {
+      tags_[i].ticks += o.tags_[i].ticks;
+      tags_[i].count += o.tags_[i].count;
+    }
+    loop_ticks_ += o.loop_ticks_;
+    events_ += o.events_;
+    sampled_events_ += o.sampled_events_;
+    sampled_span_ += o.sampled_span_;
+  }
+
   void reset() noexcept {
     phases_ = {};
     tags_ = {};

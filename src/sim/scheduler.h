@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "sim/message.h"
@@ -78,7 +79,14 @@ class calendar_queue {
   std::size_t overflowed() const noexcept { return overflow_.size(); }
 
   void push(Event ev) {
-    assert(ev.at >= base_ && "event scheduled in the past");
+    // A past-time event is corruption, not a tolerable slip: `at & mask_`
+    // would land it in a *future* ring bucket (the ring is modular), so it
+    // would pop out of order up to a whole window late and silently break
+    // the (at, seq) total order every replay guarantee rests on.  Cross-
+    // thread injection (the parallel engine's barrier replay) is exactly
+    // the caller class that could trigger it, so the check must survive
+    // Release builds.
+    ASYNCRD_CHECK(ev.at >= base_ && "calendar_queue: event scheduled in the past");
     ++size_;
     if (ev.at - base_ <= mask_) {
       bucket& b = buckets_[ev.at & mask_];
@@ -92,6 +100,56 @@ class calendar_queue {
   /// Removes and returns the (at, seq)-least event.  Precondition: !empty().
   Event pop() {
     assert(size_ > 0);
+    bucket& b = settle();
+    const Event ev = b.events[b.head++];
+    if (b.head == b.events.size()) {
+      b.events.clear();
+      b.head = 0;
+    }
+    --in_ring_;
+    --size_;
+    return ev;
+  }
+
+  /// Timestamp of the (at, seq)-least event without removing anything.
+  /// Precondition: !empty().  Advances the window to the next occupied tick
+  /// (the same lazy scan pop() does), so it is O(1) amortized.
+  sim_time peek_time() {
+    assert(size_ > 0);
+    settle();
+    return base_;
+  }
+
+  /// Removes *every* event sharing the earliest timestamp and appends them
+  /// to `out` in (at, seq) order; returns that timestamp.  Precondition:
+  /// !empty().  This is the parallel engine's window primitive: a bucket
+  /// holds exactly one tick, every event it contains was pushed (or
+  /// migrated) in seq order, and all delays are >= 1, so the drained batch
+  /// is a closed causal frontier — nothing inside it can schedule work at
+  /// its own timestamp.
+  sim_time drain_next(std::vector<Event>& out) {
+    assert(size_ > 0);
+    bucket& b = settle();
+    const sim_time at = base_;
+    const std::size_t count = b.events.size() - b.head;
+    out.insert(out.end(), b.events.begin() + static_cast<std::ptrdiff_t>(b.head),
+               b.events.end());
+    b.events.clear();
+    b.head = 0;
+    in_ring_ -= count;
+    size_ -= count;
+    return at;
+  }
+
+ private:
+  struct bucket {
+    std::vector<Event> events;
+    std::size_t head = 0;  ///< first not-yet-popped element
+  };
+
+  /// Positions base_ on the earliest non-empty tick and returns its bucket.
+  /// Precondition: size_ > 0.
+  bucket& settle() {
     if (in_ring_ == 0) {
       // Ring drained: jump straight to the earliest far-future event.
       base_ = overflow_.top().at;
@@ -105,21 +163,8 @@ class calendar_queue {
       migrate();  // window slid: the freed tick may pull heap events in
       b = &buckets_[base_ & mask_];
     }
-    const Event ev = b->events[b->head++];
-    if (b->head == b->events.size()) {
-      b->events.clear();
-      b->head = 0;
-    }
-    --in_ring_;
-    --size_;
-    return ev;
+    return *b;
   }
-
- private:
-  struct bucket {
-    std::vector<Event> events;
-    std::size_t head = 0;  ///< first not-yet-popped element
-  };
 
   /// Moves every heap event that now fits the window into its bucket.
   /// Heap pops come out in (at, seq) order, so appends preserve seq order.

@@ -25,10 +25,57 @@
 // workers — the same property the event queue gives a single run.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace asyncrd::sim {
+
+/// Persistent thread team for repeated fork/join sections.  The calling
+/// thread participates as worker 0 and `size() - 1` helper threads park on
+/// a condition variable between rounds, so a round-trip costs two notifies
+/// instead of thread spawns — cheap enough to run once per simulation
+/// window (the parallel engine fires thousands of rounds per run), while
+/// parallel_sweep uses one round for a whole sweep.
+///
+/// Threads persist across rounds, so thread-local state (the message pool)
+/// warms up once and stays warm.
+class worker_pool {
+ public:
+  /// `threads` total workers (>= 1); `threads - 1` helpers are spawned.
+  explicit worker_pool(std::size_t threads);
+  ~worker_pool();
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  std::size_t size() const noexcept { return threads_; }
+
+  /// Runs fn(worker) for every worker in [0, size()), the caller executing
+  /// index 0, and returns when all of them finished.  If any worker threw,
+  /// the first exception (by completion order) is rethrown here after the
+  /// join — the others' work still ran to whatever point it reached.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void helper_loop(std::size_t worker);
+
+  std::size_t threads_;
+  std::vector<std::thread> helpers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t running_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
 
 /// What a sweep did, for telemetry/bench reporting.
 struct sweep_result {

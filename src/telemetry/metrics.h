@@ -97,4 +97,11 @@ void record_chaos(registry& reg, std::string_view prefix,
                   const sim::fault_stats& faults,
                   const sim::reliable_link_stats* rl = nullptr);
 
+/// Records message-pool occupancy and cross-thread reclaim traffic under
+/// `prefix` (gauges: ".thread_cached_blocks", ".thread_cached_bytes",
+/// ".global_cached_blocks", ".reclaim_donations", ".reclaim_grabs").
+/// The thread-local fields describe the *calling* thread's cache.
+void record_pool(registry& reg, std::string_view prefix,
+                 const sim::pool_detail::pool_stats& ps);
+
 }  // namespace asyncrd::telemetry

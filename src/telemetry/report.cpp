@@ -173,7 +173,7 @@ run_report collect_run_report(const core::discovery_run& run,
   rep.chaos.duplicates = fs.duplicates;
   rep.chaos.reorder_delay = fs.reorder_delay;
   if (const sim::reliable_link_layer* rl = run.reliable_links()) {
-    const sim::reliable_link_stats& rs = rl->stats();
+    const sim::reliable_link_stats rs = rl->stats();
     rep.chaos.data_sent = rs.data_sent;
     rep.chaos.retransmits = rs.retransmits;
     rep.chaos.acks_sent = rs.acks_sent;

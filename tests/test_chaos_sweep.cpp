@@ -188,8 +188,8 @@ TEST(ChaosSweep, RunReportCarriesChaosCounters) {
 
   // record_chaos folds the same numbers into a metrics registry.
   telemetry::registry reg;
-  telemetry::record_chaos(reg, "chaos", run.net().faults(),
-                          &run.reliable_links()->stats());
+  const sim::reliable_link_stats rls = run.reliable_links()->stats();
+  telemetry::record_chaos(reg, "chaos", run.net().faults(), &rls);
   EXPECT_EQ(reg.get_counter("chaos.drops").value(), rep.chaos.drops);
   EXPECT_EQ(reg.get_counter("chaos.retransmits").value(),
             rep.chaos.retransmits);

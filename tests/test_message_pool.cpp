@@ -10,6 +10,7 @@
 
 #include "core/messages.h"
 #include "sim/message.h"
+#include "telemetry/metrics.h"
 
 namespace asyncrd {
 namespace {
@@ -77,6 +78,71 @@ TEST(MessagePool, CrossThreadFreeMigratesNotCorrupts) {
   // This thread's pool still works.
   const auto m = sim::make_message<core::search_msg>(9, 9, 9, true);
   EXPECT_EQ(static_cast<const core::search_msg&>(*m).initiator, 9u);
+}
+
+TEST(MessagePool, ThreadByteCapSpillsOverflowToGlobalReclaim) {
+  // Regression for the parallel engine's one-way free flow: without the
+  // per-thread byte cap the freeing thread's cache grew without bound.
+  sim::pool_detail::trim();
+  sim::pool_detail::trim_global();
+  constexpr std::size_t block = 512;  // largest size class
+  constexpr std::size_t n = 3000;     // 1.5 MiB > the 1 MiB thread cap
+  const std::uint64_t donations_before =
+      sim::pool_detail::stats().reclaim_donations;
+  std::vector<void*> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    blocks.push_back(sim::pool_detail::allocate(block));
+  for (void* p : blocks) sim::pool_detail::deallocate(p, block);
+  const auto st = sim::pool_detail::stats();
+  EXPECT_LE(st.thread_cached_bytes, std::size_t{1} << 20);
+  EXPECT_GT(st.reclaim_donations, donations_before);
+  EXPECT_GT(st.global_cached_blocks, 0u);
+  sim::pool_detail::trim();
+  sim::pool_detail::trim_global();
+}
+
+TEST(MessagePool, LocalMissRefillsFromGlobalInBatches) {
+  sim::pool_detail::trim();
+  sim::pool_detail::trim_global();
+  constexpr std::size_t block = 512;
+  // Seed the global list by overflowing the thread byte cap (1 MiB of
+  // 512-byte blocks is 2048; everything past that spills), then trim the
+  // local cache so only the global copies remain.
+  std::vector<void*> blocks;
+  blocks.reserve(3000);
+  for (std::size_t i = 0; i < 3000; ++i)
+    blocks.push_back(sim::pool_detail::allocate(block));
+  for (void* p : blocks) sim::pool_detail::deallocate(p, block);
+  sim::pool_detail::trim();
+  ASSERT_GE(sim::pool_detail::stats().global_cached_blocks, 64u);
+  const std::uint64_t grabs_before = sim::pool_detail::stats().reclaim_grabs;
+  // One allocation on an empty local cache pulls a whole batch across.
+  void* p = sim::pool_detail::allocate(block);
+  ASSERT_NE(p, nullptr);
+  const auto st = sim::pool_detail::stats();
+  EXPECT_EQ(st.reclaim_grabs, grabs_before + 64);
+  EXPECT_EQ(st.thread_cached_blocks, 63u);  // batch minus the one returned
+  sim::pool_detail::deallocate(p, block);
+  sim::pool_detail::trim();
+  sim::pool_detail::trim_global();
+  EXPECT_EQ(sim::pool_detail::stats().global_cached_blocks, 0u);
+}
+
+TEST(MessagePool, RecordPoolExposesReclaimTelemetry) {
+  telemetry::registry reg;
+  sim::pool_detail::pool_stats ps;
+  ps.thread_cached_blocks = 7;
+  ps.thread_cached_bytes = 4096;
+  ps.global_cached_blocks = 3;
+  ps.reclaim_donations = 11;
+  ps.reclaim_grabs = 5;
+  telemetry::record_pool(reg, "pool", ps);
+  EXPECT_EQ(reg.gauges().at("pool.thread_cached_blocks").value(), 7.0);
+  EXPECT_EQ(reg.gauges().at("pool.thread_cached_bytes").value(), 4096.0);
+  EXPECT_EQ(reg.gauges().at("pool.global_cached_blocks").value(), 3.0);
+  EXPECT_EQ(reg.gauges().at("pool.reclaim_donations").value(), 11.0);
+  EXPECT_EQ(reg.gauges().at("pool.reclaim_grabs").value(), 5.0);
 }
 
 TEST(MessagePool, DispatchTagsSurvivePooledConstruction) {

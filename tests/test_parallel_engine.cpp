@@ -1,0 +1,258 @@
+// Parallel single-run engine (sim/parallel_engine.h): the acceptance bar is
+// byte-identical replay — run_parallel(s) must reproduce run() exactly for
+// every shard count, down to activation ids, RNG draws, trace genealogy and
+// chaos counters.  Plus the satellite cross-check: the telemetry
+// parallelism profile's predicted speedup vs the speedup actually measured.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/runner.h"
+#include "graph/topology.h"
+#include "sim/parallel_engine.h"
+#include "telemetry/parallelism.h"
+#include "telemetry/report.h"
+#include "telemetry/tracer.h"
+
+namespace asyncrd {
+namespace {
+
+constexpr std::size_t kShardMatrix[] = {1, 2, 4, 8};
+
+// Everything observable about a finished run except host wall-clock: the
+// aggregate stats, per-type breakdown, leaders, merge accounting, and the
+// full causal trace flattened field-by-field.
+struct run_fingerprint {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t events = 0;
+  sim::sim_time completion_time = 0;
+  bool completed = false;
+  std::vector<node_id> leaders;
+  std::uint64_t merges = 0;
+  sim::sim_time last_merge_at = 0;
+  std::map<std::string, std::uint64_t> by_type;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                         std::uint64_t, int, node_id, node_id, sim::sim_time,
+                         sim::sim_time, std::uint64_t, std::uint64_t,
+                         std::uint32_t, std::string>>
+      trace;
+
+  bool operator==(const run_fingerprint&) const = default;
+};
+
+run_fingerprint fingerprint(core::discovery_run& run, sim::run_result r,
+                            const telemetry::tracer& tr) {
+  run_fingerprint fp;
+  fp.messages = run.statistics().total_messages();
+  fp.bits = run.statistics().total_bits();
+  fp.events = r.events_processed;
+  fp.completion_time = run.net().now();
+  fp.completed = r.completed;
+  fp.leaders = run.leaders();
+  fp.merges = run.merges();
+  fp.last_merge_at = run.last_merge_at();
+  for (const auto& [k, v] : run.statistics().by_type())
+    fp.by_type[k] = v.count;
+  fp.trace.reserve(tr.events().size());
+  for (const auto& e : tr.events())
+    fp.trace.emplace_back(e.id, e.cause, e.release, e.parent,
+                          static_cast<int>(e.what), e.from, e.to, e.at,
+                          e.sent_at, e.lamport, e.bits, e.sends, e.type);
+  return fp;
+}
+
+// One full traced execution of the generic variant; shards == SIZE_MAX
+// selects the serial event loop (network::run).
+run_fingerprint run_traced(const graph::digraph& g, std::uint64_t seed,
+                           std::size_t shards) {
+  sim::unit_delay_scheduler unit;
+  sim::random_delay_scheduler random(seed);
+  sim::scheduler& sched = seed == 0 ? static_cast<sim::scheduler&>(unit)
+                                    : static_cast<sim::scheduler&>(random);
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  telemetry::tracer tr(run.net());
+  run.net().add_observer(&tr);
+  run.wake_all();
+  const sim::run_result r =
+      shards == SIZE_MAX ? run.run() : run.run_parallel(shards);
+  EXPECT_TRUE(r.completed);
+  return fingerprint(run, r, tr);
+}
+
+TEST(ParallelEngine, ShardMatrixReplaysSerialByteForByte) {
+  // Shard-count x seed determinism matrix: every cell must equal the serial
+  // execution bit for bit, including the causal trace (activation ids,
+  // parents, Lamport stamps) — the strongest observable we have.
+  const auto g = graph::random_weakly_connected(60, 140, 11);
+  for (const std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{7},
+                                   std::uint64_t{21}}) {
+    const run_fingerprint serial = run_traced(g, seed, SIZE_MAX);
+    EXPECT_EQ(serial.leaders.size(), 1u) << "seed " << seed;
+    for (const std::size_t shards : kShardMatrix) {
+      const run_fingerprint par = run_traced(g, seed, shards);
+      EXPECT_EQ(par, serial) << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ParallelEngine, ShardCountZeroPicksHardwareConcurrency) {
+  const auto g = graph::random_weakly_connected(40, 90, 5);
+  const run_fingerprint serial = run_traced(g, 3, SIZE_MAX);
+  EXPECT_EQ(run_traced(g, 3, 0), serial);
+}
+
+TEST(ParallelEngine, ChaosRunsReplayByteForByteAtEveryShardCount) {
+  // The hard case: lossy transport + ARQ.  Acks are barrier-replayed and
+  // every fault/jitter RNG draw happens at the barrier in serial order, so
+  // drops, duplicates, retransmissions and RTO backoffs must all match.
+  const auto g = graph::random_weakly_connected(40, 80, 21);
+  const auto run_once = [&](std::size_t shards) {
+    sim::random_delay_scheduler sched(21);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    sim::fault_plan plan;
+    plan.seed = 21;
+    plan.drop = 0.2;
+    plan.duplicate = 0.1;
+    plan.reorder_slack = 24;
+    plan.outage_period = 256;
+    plan.outage_duration = 32;
+    run.enable_chaos(plan);
+    telemetry::tracer tr(run.net());
+    run.net().add_observer(&tr);
+    run.wake_all();
+    const sim::run_result r =
+        shards == SIZE_MAX ? run.run() : run.run_parallel(shards);
+    EXPECT_TRUE(r.completed);
+    const auto& f = run.net().faults();
+    const sim::reliable_link_stats rl = run.reliable_links()->stats();
+    return std::tuple{fingerprint(run, r, tr),
+                      f.transmissions,
+                      f.drops,
+                      f.outage_drops,
+                      f.duplicates,
+                      f.reorder_delay,
+                      rl.data_sent,
+                      rl.retransmits,
+                      rl.acks_sent,
+                      rl.dup_suppressed,
+                      rl.timer_fires,
+                      rl.rto_backoffs,
+                      rl.max_rto};
+  };
+  const auto serial = run_once(SIZE_MAX);
+  for (const std::size_t shards : kShardMatrix)
+    EXPECT_EQ(run_once(shards), serial) << "shards " << shards;
+}
+
+TEST(ParallelEngine, RunReportsIdenticalAcrossShardCounts) {
+  // The telemetry report (minus host wall-clock) is the artifact benches
+  // diff; sharding must not perturb a single stable field in it.
+  const auto g = graph::random_weakly_connected(50, 110, 13);
+  const auto report_once = [&](std::size_t shards) {
+    sim::random_delay_scheduler sched(13);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.wake_all();
+    const sim::run_result r =
+        shards == SIZE_MAX ? run.run() : run.run_parallel(shards);
+    telemetry::run_report rep = telemetry::collect_run_report(run, r);
+    rep.wall_ms = 0.0;  // host clock: the only legitimately volatile fields
+    rep.events_per_sec = 0.0;
+    return rep.to_json();
+  };
+  const std::string serial = report_once(SIZE_MAX);
+  for (const std::size_t shards : kShardMatrix)
+    EXPECT_EQ(report_once(shards), serial) << "shards " << shards;
+}
+
+TEST(ParallelEngine, EngineAccountsWindowsAndRejectsManualMode) {
+  const auto g = graph::random_weakly_connected(200, 500, 17);
+  sim::unit_delay_scheduler sched;
+  core::config cfg;
+  core::discovery_run run(g, cfg, sched);
+  run.wake_all();
+  sim::parallel_config pcfg;
+  pcfg.shards = 2;
+  sim::parallel_engine engine(run.net(), pcfg);
+  EXPECT_EQ(engine.shards(), 2u);
+  const sim::run_result r = engine.run();
+  EXPECT_TRUE(r.completed);
+  const sim::parallel_run_stats& st = engine.run_stats();
+  EXPECT_GT(st.windows, 0u);
+  EXPECT_EQ(st.parallel_windows + st.serial_windows, st.windows);
+  // 200 simultaneous wakes dwarf the serial-window threshold: the pool must
+  // actually have been exercised.
+  EXPECT_GT(st.parallel_windows, 0u);
+  EXPECT_GE(st.max_window_events, 200u);
+  EXPECT_GT(st.deferred_records, 0u);
+
+  sim::unit_delay_scheduler msched;
+  sim::network manual(msched);
+  manual.set_manual_mode();
+  sim::parallel_engine bad(manual, pcfg);
+  EXPECT_THROW(bad.run(), std::logic_error);
+}
+
+TEST(ParallelEngine, PredictedSpeedupCrossChecksMeasured) {
+  // Satellite cross-check: telemetry::compute_parallelism predicts the
+  // available-width ceiling; clamped by the host's core count it becomes a
+  // speedup prediction the engine must realize at least half of.  On a
+  // single-core host the clamp is 1.0, so this degenerates to "the window
+  // protocol costs at most 2x over the serial loop" — still a real bound.
+  const auto g = graph::random_weakly_connected(1200, 4800, 3);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  // Predicted: width profile of the (deterministic) execution, traced once.
+  sim::unit_delay_scheduler tsched;
+  core::config tcfg;
+  core::discovery_run traced(g, tcfg, tsched);
+  telemetry::tracer tr(traced.net());
+  traced.net().add_observer(&tr);
+  traced.wake_all();
+  ASSERT_TRUE(traced.run().completed);
+  const telemetry::parallelism_profile prof =
+      telemetry::compute_parallelism(tr.events());
+  ASSERT_GE(prof.work_cp_ratio, 1.0);
+  const double predicted =
+      std::min(prof.work_cp_ratio, static_cast<double>(hw));
+
+  // Measured: best-of-3 untraced wall times, serial vs hw-shard parallel.
+  const auto wall_ms = [&](std::size_t shards) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      sim::unit_delay_scheduler sched;
+      core::config cfg;
+      core::discovery_run run(g, cfg, sched);
+      run.wake_all();
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::run_result r =
+          shards == SIZE_MAX ? run.run() : run.run_parallel(shards);
+      const auto t1 = std::chrono::steady_clock::now();
+      EXPECT_TRUE(r.completed);
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+  };
+  const double serial_ms = wall_ms(SIZE_MAX);
+  const double parallel_ms = wall_ms(hw);
+  ASSERT_GT(serial_ms, 0.0);
+  ASSERT_GT(parallel_ms, 0.0);
+  const double measured = serial_ms / parallel_ms;
+  EXPECT_GE(measured, 0.5 * predicted)
+      << "predicted " << predicted << "x (width " << prof.work_cp_ratio
+      << ", " << hw << " cores), measured " << measured << "x (serial "
+      << serial_ms << " ms, parallel " << parallel_ms << " ms)";
+}
+
+}  // namespace
+}  // namespace asyncrd

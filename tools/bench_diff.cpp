@@ -132,6 +132,16 @@ std::optional<bench_file> load(const std::string& path, int& code) {
         n == nullptr || !n->is_number() || measured == nullptr ||
         !measured->is_number() || bound == nullptr || !bound->is_number())
       return bad("row missing label/n/measured/predicted_bound");
+    // NaN/inf metric values (a wall-clock of 0 turned into an inf rate, a
+    // 0/0 ratio, a "null" the parser mapped to a non-finite number) would
+    // sail through every tolerance comparison below — NaN compares false
+    // against anything, so a NaN regression would PASS.  Classify them as
+    // schema failures instead of letting them leak into the gate.
+    if (!std::isfinite(n->as_number()) ||
+        !std::isfinite(measured->as_number()) ||
+        !std::isfinite(bound->as_number()))
+      return bad("row \"" + label->as_string() +
+                 "\" has a non-finite n/measured/predicted_bound");
     f.rows.emplace_back(label->as_string(),
                         bench_row{n->as_number(), measured->as_number(),
                                   bound->as_number()});
