@@ -29,6 +29,10 @@
 //     --shards N        run through the parallel engine with N worker
 //                       shards (0 = hardware concurrency); byte-identical
 //                       with the serial loop at every shard count
+//     --wire            encode every message into the compact binary wire
+//                       format at the send choke point (sim/wire.h); adds
+//                       a "wire" block with measured per-type bytes to
+//                       --json.  Replay is byte-identical with --wire off.
 //
 // Examples:
 //   echo "0 1
@@ -75,7 +79,8 @@ using namespace asyncrd;
       "  --watchdog W          stall watchdog, window W (trip => exit 3)\n"
       "  --flight PATH         write flight-recorder ring to PATH at exit\n"
       "  --profile             hot-path cost attribution (in --json too)\n"
-      "  --shards N            parallel engine, N worker shards (0 = cores)\n";
+      "  --shards N            parallel engine, N worker shards (0 = cores)\n"
+      "  --wire                binary wire codec (measured bytes in --json)\n";
   std::exit(2);
 }
 
@@ -133,6 +138,7 @@ int main(int argc, char** argv) {
   std::string gen_spec, input, json_path, trace_path, chaos_spec, flight_path;
   std::uint64_t series_interval = 0, watchdog_window = 0;
   bool want_dot = false, quiet = false, profile = false, parallel = false;
+  bool wire = false;
   std::size_t shards = 0;
   node_id probe_from = invalid_node;
 
@@ -155,6 +161,7 @@ int main(int argc, char** argv) {
     else if (a == "--watchdog") watchdog_window = std::stoull(next());
     else if (a == "--flight") flight_path = next();
     else if (a == "--profile") profile = true;
+    else if (a == "--wire") wire = true;
     else if (a == "--shards") {
       parallel = true;
       shards = std::stoull(next());
@@ -212,7 +219,10 @@ int main(int argc, char** argv) {
     opts.watchdog.abort_on_trip = true;
     if (!flight_path.empty()) opts.flight_capacity = 4096;
     opts.profile = profile;
+    opts.wire = wire;
     rec = std::make_unique<telemetry::run_recorder>(run, opts);
+  } else if (wire) {
+    run.enable_wire();
   }
   std::unique_ptr<telemetry::tracer> tr;
   if (!trace_path.empty()) {
@@ -281,6 +291,9 @@ int main(int argc, char** argv) {
   std::cout << "messages: " << run.statistics().total_messages()
             << "  bits: " << run.statistics().total_bits()
             << "  time: " << run.net().now() << '\n';
+  if (wire)
+    std::cout << "wire: " << run.net().wire_frames() << " frames, "
+              << run.net().wire_bytes_sent() << " bytes\n";
   if (!quiet) {
     for (const auto& [type, st] : run.statistics().by_type())
       std::cout << "  " << type << ": " << st.count << " msgs, " << st.bits

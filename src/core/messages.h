@@ -11,11 +11,17 @@
 
 #include "common/ids.h"
 #include "sim/message.h"
+#include "sim/wire.h"
 
 namespace asyncrd::core {
 
 /// Phase counter.  Grows like a union-by-rank rank: never exceeds log2 n.
 using phase_t = std::uint32_t;
+
+/// Id-set payload storage.  Pool-allocated so that struct-mode id sets are
+/// visible to the message pool's byte accounting — the footprint comparison
+/// against wire mode (encoded frames in the same pool) stays honest.
+using id_vec = std::vector<node_id, sim::pool_allocator<node_id>>;
 
 /// Dispatch tags for the core vocabulary (sim::message::dispatch_tag).
 /// node::accepts/handle switch on these instead of chaining dynamic_casts —
@@ -67,11 +73,11 @@ struct query_msg final : sim::message {
 /// Member -> leader: the extracted ids; done_flag means "my local set is now
 /// empty" (move me from `more` to `done`).
 struct query_reply_msg final : sim::message {
-  query_reply_msg(std::vector<node_id> s, bool done)
+  query_reply_msg(id_vec s, bool done)
       : sim::message(tag_of(msg_kind::query_reply)),
         ids(std::move(s)),
         done_flag(done) {}
-  std::vector<node_id> ids;
+  id_vec ids;
   bool done_flag;
 
   std::string_view type_name() const noexcept override { return "query_reply"; }
@@ -162,8 +168,7 @@ struct merge_fail_msg final : sim::message {
 /// algorithm ships (phase, more, done, unaware, unexplored); the variants of
 /// §4.5 drop the unaware set.
 struct info_msg final : sim::message {
-  info_msg(phase_t ph, std::vector<node_id> m, std::vector<node_id> d,
-           std::vector<node_id> ua, std::vector<node_id> ux)
+  info_msg(phase_t ph, id_vec m, id_vec d, id_vec ua, id_vec ux)
       : sim::message(tag_of(msg_kind::info)),
         phase(ph),
         more(std::move(m)),
@@ -171,10 +176,10 @@ struct info_msg final : sim::message {
         unaware(std::move(ua)),
         unexplored(std::move(ux)) {}
   phase_t phase;
-  std::vector<node_id> more;
-  std::vector<node_id> done;
-  std::vector<node_id> unaware;
-  std::vector<node_id> unexplored;
+  id_vec more;
+  id_vec done;
+  id_vec unaware;
+  id_vec unexplored;
 
   std::string_view type_name() const noexcept override { return "info"; }
   std::size_t id_fields() const noexcept override {
@@ -231,8 +236,7 @@ struct probe_msg final : sim::message {
 /// Leader's answer, "performs a path compression on the reply (similar to
 /// the release messages)".  Optionally carries the id census.
 struct probe_reply_msg final : sim::message {
-  probe_reply_msg(node_id l, phase_t lp, node_id r,
-                  std::vector<node_id> census_ids)
+  probe_reply_msg(node_id l, phase_t lp, node_id r, id_vec census_ids)
       : sim::message(tag_of(msg_kind::probe_reply)),
         leader(l),
         leader_phase(lp),
@@ -241,7 +245,7 @@ struct probe_reply_msg final : sim::message {
   node_id leader;
   phase_t leader_phase;
   node_id requester;
-  std::vector<node_id> census;
+  id_vec census;
 
   std::string_view type_name() const noexcept override { return "probe_reply"; }
   std::size_t id_fields() const noexcept override { return 2 + census.size(); }
@@ -281,3 +285,94 @@ struct report_ack_msg final : sim::message {
 };
 
 }  // namespace asyncrd::core
+
+// ---------------------------------------------------------------------------
+// Wire codec for the core vocabulary (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+//
+// Frame = header byte (sim::wire::wire_bit | tag_of(kind)), then the
+// message's scalar fields as varints in declaration order (booleans and
+// enums as one byte), then its id sets as varint delta sets.  The typed
+// *_view structs below mirror the struct messages' field names, so node
+// handlers templated over a "field carrier" accept either representation;
+// id-set fields decode to sim::wire::id_set_view — iterated in place, never
+// materialized.
+
+namespace asyncrd::core::wire {
+
+/// Encoder table for all 13 core message types, applied by the network at
+/// the send choke point (sim::network::set_wire_codec).
+const sim::wire_codec& codec() noexcept;
+
+struct query_view {
+  std::size_t requested;
+};
+struct query_reply_view {
+  sim::wire::id_set_view ids;
+  bool done_flag;
+};
+struct search_view {
+  node_id initiator;
+  phase_t initiator_phase;
+  node_id target;
+  bool new_flag;
+};
+struct release_view {
+  node_id from_leader;
+  phase_t from_phase;
+  release_msg::answer_t answer;
+  node_id initiator;
+};
+struct merge_accept_view {
+  node_id conqueror;
+  phase_t conqueror_phase;
+};
+struct info_view {
+  phase_t phase;
+  sim::wire::id_set_view more;
+  sim::wire::id_set_view done;
+  sim::wire::id_set_view unaware;
+  sim::wire::id_set_view unexplored;
+};
+struct conquer_view {
+  node_id leader;
+  phase_t phase;
+};
+struct member_reply_view {
+  bool has_more;
+};
+struct probe_view {
+  node_id requester;
+};
+struct probe_reply_view {
+  node_id leader;
+  phase_t leader_phase;
+  node_id requester;
+  sim::wire::id_set_view census;
+};
+struct report_view {
+  node_id reporter;
+};
+struct report_ack_view {
+  node_id leader;
+  phase_t leader_phase;
+  node_id reporter;
+};
+
+// Zero-copy decoders: each checks the frame's inner tag, parses the payload
+// with bounds checks, and throws sim::wire::decode_error on any malformed
+// input (truncation, bad tag, unsorted deltas, trailing bytes).
+query_view decode_query(const sim::wire_msg& w);
+query_reply_view decode_query_reply(const sim::wire_msg& w);
+search_view decode_search(const sim::wire_msg& w);
+release_view decode_release(const sim::wire_msg& w);
+merge_accept_view decode_merge_accept(const sim::wire_msg& w);
+info_view decode_info(const sim::wire_msg& w);
+conquer_view decode_conquer(const sim::wire_msg& w);
+member_reply_view decode_member_reply(const sim::wire_msg& w);
+probe_view decode_probe(const sim::wire_msg& w);
+probe_reply_view decode_probe_reply(const sim::wire_msg& w);
+report_view decode_report(const sim::wire_msg& w);
+report_ack_view decode_report_ack(const sim::wire_msg& w);
+
+}  // namespace asyncrd::core::wire

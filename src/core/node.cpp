@@ -15,16 +15,19 @@ namespace {
 /// set difference helper: items of `src` not present in any of the filters.
 /// Survivors are collected first so the destination grows by one merge
 /// instead of |src| individual inserts (info absorption ships whole sets).
-template <typename... Sets>
-void insert_unknown(flat_set<node_id>& dst, const std::vector<node_id>& src,
-                    node_id self, const Sets&... filters) {
+/// `src` is any ascending id range: an id_vec or a wire::id_set_view (wire
+/// mode walks the encoded deltas in place, never materializing a vector).
+template <typename Range, typename... Sets>
+void insert_unknown(flat_set<node_id>& dst, const Range& src, node_id self,
+                    const Sets&... filters) {
   // Scratch survives across calls: this runs once per absorbed reply/info,
   // and a fresh vector here was a measurable slice of the run's mallocs.
   // Safe: insert_unknown never re-enters itself.
   static thread_local std::vector<node_id> keep;
   keep.clear();
   keep.reserve(src.size());
-  for (const node_id v : src) {
+  for (const auto raw : src) {
+    const node_id v = static_cast<node_id>(raw);
     if (v == self) continue;
     if ((filters.contains(v) || ...)) continue;
     keep.push_back(v);
@@ -32,9 +35,7 @@ void insert_unknown(flat_set<node_id>& dst, const std::vector<node_id>& src,
   dst.insert(keep.begin(), keep.end());
 }
 
-std::vector<node_id> to_vector(const flat_set<node_id>& s) {
-  return {s.begin(), s.end()};
-}
+id_vec to_vector(const flat_set<node_id>& s) { return {s.begin(), s.end()}; }
 
 }  // namespace
 
@@ -63,7 +64,8 @@ void node::wake_body(sim::context& ctx) {
   if (probe_queued_) {
     probe_queued_ = false;
     // A freshly woken node is its own leader: the census is its own view.
-    census_ = census_result{id_, census_ids(), ctx.now()};
+    const id_vec c = census_ids();
+    census_ = census_result{id_, {c.begin(), c.end()}, ctx.now()};
   }
 }
 
@@ -105,8 +107,46 @@ std::set<node_id> node::known_ids() const {
 }
 
 bool node::accepts(const sim::message& m) const {
+  const std::uint8_t raw = m.dispatch_tag();
+  if ((raw & sim::wire::wire_bit) == 0) {
+    switch (static_cast<msg_kind>(raw)) {
+      case msg_kind::release:
+        return accepts_release(static_cast<const release_msg&>(m).initiator);
+      case msg_kind::probe_reply:
+        return accepts_probe_reply(
+            static_cast<const probe_reply_msg&>(m).requester);
+      case msg_kind::report_ack:
+        return accepts_report_ack(
+            static_cast<const report_ack_msg&>(m).reporter);
+      default:
+        return accepts_kind(static_cast<msg_kind>(raw));
+    }
+  }
+  // Encoded frame: same selective-receive decisions, peeking the three
+  // kinds whose answer depends on a payload field.  (Tags with the wire
+  // bit set are reserved for frames on the node delivery path; a foreign
+  // high-tag message falls through accepts_kind to "never consumed".)
+  const std::uint8_t inner = raw & static_cast<std::uint8_t>(~sim::wire::wire_bit);
+  switch (static_cast<msg_kind>(inner)) {
+    case msg_kind::release:
+      return accepts_release(
+          wire::decode_release(static_cast<const sim::wire_msg&>(m)).initiator);
+    case msg_kind::probe_reply:
+      return accepts_probe_reply(
+          wire::decode_probe_reply(static_cast<const sim::wire_msg&>(m))
+              .requester);
+    case msg_kind::report_ack:
+      return accepts_report_ack(
+          wire::decode_report_ack(static_cast<const sim::wire_msg&>(m))
+              .reporter);
+    default:
+      return accepts_kind(static_cast<msg_kind>(inner));
+  }
+}
+
+bool node::accepts_kind(msg_kind k) const {
   using s = status_t;
-  switch (static_cast<msg_kind>(m.dispatch_tag())) {
+  switch (k) {
     case msg_kind::query:
       // query is a pure local_-set transaction; answerable in any awake
       // state.
@@ -122,12 +162,6 @@ bool node::accepts(const sim::message& m) const {
       // queues along its path would stay wedged forever.
       return status_ == s::wait || status_ == s::passive ||
              status_ == s::inactive || status_ == s::terminated;
-
-    case msg_kind::release:
-      if (static_cast<const release_msg&>(m).initiator == id_)
-        return status_ == s::wait || status_ == s::passive ||
-               status_ == s::conquered || status_ == s::inactive;
-      return status_ == s::inactive;  // routing hop
 
     case msg_kind::merge_accept:
     case msg_kind::merge_fail:
@@ -146,24 +180,38 @@ bool node::accepts(const sim::message& m) const {
       return status_ == s::wait || status_ == s::inactive ||
              status_ == s::terminated;
 
-    case msg_kind::probe_reply:
-      if (static_cast<const probe_reply_msg&>(m).requester == id_) return true;
-      return status_ == s::inactive;
-
     case msg_kind::report:
       return status_ == s::wait || status_ == s::passive ||
              status_ == s::inactive || status_ == s::terminated;
-
-    case msg_kind::report_ack:
-      if (static_cast<const report_ack_msg&>(m).reporter == id_) return true;
-      return status_ == s::inactive;
 
     default:
       return false;  // untagged / foreign message: never consumed
   }
 }
 
+bool node::accepts_release(node_id initiator) const {
+  using s = status_t;
+  if (initiator == id_)
+    return status_ == s::wait || status_ == s::passive ||
+           status_ == s::conquered || status_ == s::inactive;
+  return status_ == s::inactive;  // routing hop
+}
+
+bool node::accepts_probe_reply(node_id requester) const {
+  if (requester == id_) return true;
+  return status_ == status_t::inactive;
+}
+
+bool node::accepts_report_ack(node_id reporter) const {
+  if (reporter == id_) return true;
+  return status_ == status_t::inactive;
+}
+
 void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
+  if ((m->dispatch_tag() & sim::wire::wire_bit) != 0) {
+    handle_wire(ctx, from, m);
+    return;
+  }
   switch (static_cast<msg_kind>(m->dispatch_tag())) {
   case msg_kind::query: {
     const auto* q = static_cast<const query_msg*>(m.get());
@@ -176,74 +224,11 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
     return;
   }
   case msg_kind::search: {
-    const auto* srch = static_cast<const search_msg*>(m.get());
-    // --- Fig 5 target-side preprocessing, shared by every receiver role:
-    // "if id == u.id and v.id ∉ local then local := local ∪ {v};
-    //  M.new := true".  The literal test against `local` (not against
-    // everything ever known) is load-bearing: when the initiator later goes
-    // passive, re-injecting its id into the target's unreported pool is what
-    // lets the surviving leader re-discover it — this is exactly the
-    // bidirectional-edge argument in the proof of Lemma 5.4.
-    bool new_flag = srch->new_flag;
-    if (srch->target == id_ && srch->initiator != id_ &&
-        !local_.contains(srch->initiator)) {
-      known_.insert(srch->initiator);
-      local_.insert(srch->initiator);
-      new_flag = true;
-    }
-    // "if new == true and u ∈ done then done := done \ {u};
-    //  more := more ∪ {u}" — meaningful at the leader; a routing hop has
-    // empty more/done so this is a no-op there.  A terminated Bounded
-    // leader skips it: its census is already complete (done == component),
-    // so the "new" id is necessarily a member it knows.
-    if (status_ != status_t::terminated && new_flag &&
-        done_.contains(srch->target)) {
-      done_.erase(srch->target);
-      more_.insert(srch->target);
-    }
-    if (status_ == status_t::inactive) {
-      sim::message_ptr fwd = m;
-      if (new_flag != srch->new_flag)
-        fwd = sim::make_message<search_msg>(srch->initiator,
-                                            srch->initiator_phase,
-                                            srch->target, new_flag);
-      route_request(ctx, from, std::move(fwd));
-    } else {
-      leader_on_search(ctx, from, *srch);
-    }
+    handle_search(ctx, from, *static_cast<const search_msg*>(m.get()), m);
     return;
   }
   case msg_kind::release: {
-    const auto* rel = static_cast<const release_msg*>(m.get());
-    if (rel->initiator == id_) {
-      if (status_ == status_t::wait) {
-        leader_on_own_release(ctx, *rel);
-      } else {
-        // passive / conquered / inactive: Fig 4-6 — a merge request can no
-        // longer be honored; an abort needs no action.
-        if (rel->answer == release_msg::answer_t::merge) {
-          contacts_.insert(rel->from_leader);  // id learned from the payload
-          ctx.send(rel->from_leader, sim::make_message<merge_fail_msg>());
-          // The knowledge graph grew: we just received from_leader's id
-          // (§1: "the edge set E grows each time a node receives an id of
-          // a node it did not know of").  The refused merger will go
-          // passive; if its id were dropped here, no leader could ever
-          // rediscover it and liveness (property 4) would fail.  A node
-          // that still owns its sets passes the tip along in its info
-          // (unexplored ships to the conqueror); an inactive node feeds it
-          // through the unreported pool + §6 report machinery.
-          if (status_ == status_t::inactive)
-            learn_id(ctx, rel->from_leader);
-          else if (!is_member(rel->from_leader))
-            unexplored_.insert(rel->from_leader);
-        }
-      }
-    } else {
-      // Fig 5: next := l happens before the queued search is re-forwarded.
-      if (cfg_->path_compression)
-        maybe_update_next(rel->from_phase, rel->from_leader);
-      route_reply(ctx, rel->from_leader, m, rel->initiator);
-    }
+    handle_release(ctx, from, *static_cast<const release_msg*>(m.get()), m);
     return;
   }
   case msg_kind::merge_accept: {
@@ -277,17 +262,7 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
     return;
   }
   case msg_kind::probe_reply: {
-    const auto* pr = static_cast<const probe_reply_msg*>(m.get());
-    if (pr->requester == id_) {
-      census_ = census_result{pr->leader, pr->census, ctx.now()};
-      // The requester is the deepest node on the find path; compress it too.
-      if (status_ == status_t::inactive && cfg_->path_compression)
-        maybe_update_next(pr->leader_phase, pr->leader);
-    } else {
-      if (cfg_->path_compression)
-        maybe_update_next(pr->leader_phase, pr->leader);
-      route_reply(ctx, pr->leader, m, pr->requester);
-    }
+    handle_probe_reply(ctx, *static_cast<const probe_reply_msg*>(m.get()), m);
     return;
   }
   case msg_kind::report: {
@@ -300,19 +275,195 @@ void node::handle(sim::context& ctx, node_id from, const sim::message_ptr& m) {
   }
   case msg_kind::report_ack: {
     const auto* ra = static_cast<const report_ack_msg*>(m.get());
-    if (ra->reporter == id_) {  // our report reached the leader
-      if (status_ == status_t::inactive && cfg_->path_compression)
-        maybe_update_next(ra->leader_phase, ra->leader);
-      return;
-    }
-    if (cfg_->path_compression)
-      maybe_update_next(ra->leader_phase, ra->leader);
-    route_reply(ctx, ra->leader, m, ra->reporter);
+    handle_report_ack(ctx, ra->leader, ra->leader_phase, ra->reporter, m);
     return;
   }
   default:
     ASYNCRD_CHECK(false && "unhandled message type");
   }
+}
+
+void node::handle_wire(sim::context& ctx, node_id from,
+                       const sim::message_ptr& m) {
+  // Fixed-field kinds decode onto the stack (a handful of varints); the
+  // id-set-carrying kinds (query_reply, info, probe_reply) hand zero-copy
+  // views to the templated handlers.  Routed kinds forward the original
+  // frame untouched — the next hop retransmits the same bytes.
+  const auto& wm = static_cast<const sim::wire_msg&>(*m);
+  switch (static_cast<msg_kind>(wm.inner_tag())) {
+  case msg_kind::query: {
+    const query_msg q(wire::decode_query(wm).requested);
+    inactive_on_query(ctx, from, q);
+    return;
+  }
+  case msg_kind::query_reply: {
+    const auto v = wire::decode_query_reply(wm);
+    apply_query_reply(ctx, from, v.ids, v.done_flag);
+    return;
+  }
+  case msg_kind::search: {
+    const auto v = wire::decode_search(wm);
+    const search_msg s(v.initiator, v.initiator_phase, v.target, v.new_flag);
+    handle_search(ctx, from, s, m);
+    return;
+  }
+  case msg_kind::release: {
+    const auto v = wire::decode_release(wm);
+    const release_msg r(v.from_leader, v.from_phase, v.answer, v.initiator);
+    handle_release(ctx, from, r, m);
+    return;
+  }
+  case msg_kind::merge_accept: {
+    const auto v = wire::decode_merge_accept(wm);
+    on_merge_accept(ctx, merge_accept_msg(v.conqueror, v.conqueror_phase));
+    return;
+  }
+  case msg_kind::merge_fail: {
+    on_merge_fail(ctx);
+    return;
+  }
+  case msg_kind::info: {
+    on_info(ctx, from, wire::decode_info(wm));
+    return;
+  }
+  case msg_kind::conquer: {
+    const auto v = wire::decode_conquer(wm);
+    on_conquer(ctx, from, conquer_msg(v.leader, v.phase));
+    return;
+  }
+  case msg_kind::member_reply: {
+    if (status_ == status_t::conqueror)
+      on_member_reply(ctx, from,
+                      member_reply_msg(wire::decode_member_reply(wm).has_more));
+    // terminated (Bounded): the final conquer's replies are absorbed.
+    return;
+  }
+  case msg_kind::probe: {
+    if (status_ == status_t::inactive) {
+      route_request(ctx, from, m);
+      return;
+    }
+    leader_on_probe(ctx, from, probe_msg(wire::decode_probe(wm).requester));
+    return;
+  }
+  case msg_kind::probe_reply: {
+    handle_probe_reply(ctx, wire::decode_probe_reply(wm), m);
+    return;
+  }
+  case msg_kind::report: {
+    if (status_ == status_t::inactive) {
+      route_request(ctx, from, m);
+      return;
+    }
+    leader_on_report(ctx, from, report_msg(wire::decode_report(wm).reporter));
+    return;
+  }
+  case msg_kind::report_ack: {
+    const auto v = wire::decode_report_ack(wm);
+    handle_report_ack(ctx, v.leader, v.leader_phase, v.reporter, m);
+    return;
+  }
+  default:
+    ASYNCRD_CHECK(false && "unhandled wire frame tag");
+  }
+}
+
+void node::handle_search(sim::context& ctx, node_id from, const search_msg& s,
+                         const sim::message_ptr& original) {
+  // --- Fig 5 target-side preprocessing, shared by every receiver role:
+  // "if id == u.id and v.id ∉ local then local := local ∪ {v};
+  //  M.new := true".  The literal test against `local` (not against
+  // everything ever known) is load-bearing: when the initiator later goes
+  // passive, re-injecting its id into the target's unreported pool is what
+  // lets the surviving leader re-discover it — this is exactly the
+  // bidirectional-edge argument in the proof of Lemma 5.4.
+  bool new_flag = s.new_flag;
+  if (s.target == id_ && s.initiator != id_ &&
+      !local_.contains(s.initiator)) {
+    known_.insert(s.initiator);
+    local_.insert(s.initiator);
+    new_flag = true;
+  }
+  // "if new == true and u ∈ done then done := done \ {u};
+  //  more := more ∪ {u}" — meaningful at the leader; a routing hop has
+  // empty more/done so this is a no-op there.  A terminated Bounded
+  // leader skips it: its census is already complete (done == component),
+  // so the "new" id is necessarily a member it knows.
+  if (status_ != status_t::terminated && new_flag && done_.contains(s.target)) {
+    done_.erase(s.target);
+    more_.insert(s.target);
+  }
+  if (status_ == status_t::inactive) {
+    sim::message_ptr fwd = original;
+    if (new_flag != s.new_flag)
+      fwd = sim::make_message<search_msg>(s.initiator, s.initiator_phase,
+                                          s.target, new_flag);
+    route_request(ctx, from, std::move(fwd));
+  } else {
+    leader_on_search(ctx, from, s);
+  }
+}
+
+void node::handle_release(sim::context& ctx, node_id /*from*/,
+                          const release_msg& r,
+                          const sim::message_ptr& original) {
+  if (r.initiator == id_) {
+    if (status_ == status_t::wait) {
+      leader_on_own_release(ctx, r);
+    } else {
+      // passive / conquered / inactive: Fig 4-6 — a merge request can no
+      // longer be honored; an abort needs no action.
+      if (r.answer == release_msg::answer_t::merge) {
+        contacts_.insert(r.from_leader);  // id learned from the payload
+        ctx.send(r.from_leader, sim::make_message<merge_fail_msg>());
+        // The knowledge graph grew: we just received from_leader's id
+        // (§1: "the edge set E grows each time a node receives an id of
+        // a node it did not know of").  The refused merger will go
+        // passive; if its id were dropped here, no leader could ever
+        // rediscover it and liveness (property 4) would fail.  A node
+        // that still owns its sets passes the tip along in its info
+        // (unexplored ships to the conqueror); an inactive node feeds it
+        // through the unreported pool + §6 report machinery.
+        if (status_ == status_t::inactive)
+          learn_id(ctx, r.from_leader);
+        else if (!is_member(r.from_leader))
+          unexplored_.insert(r.from_leader);
+      }
+    }
+  } else {
+    // Fig 5: next := l happens before the queued search is re-forwarded.
+    if (cfg_->path_compression)
+      maybe_update_next(r.from_phase, r.from_leader);
+    route_reply(ctx, r.from_leader, original, r.initiator);
+  }
+}
+
+template <typename PR>
+void node::handle_probe_reply(sim::context& ctx, const PR& pr,
+                              const sim::message_ptr& original) {
+  if (pr.requester == id_) {
+    census_ = census_result{
+        pr.leader, std::vector<node_id>(pr.census.begin(), pr.census.end()),
+        ctx.now()};
+    // The requester is the deepest node on the find path; compress it too.
+    if (status_ == status_t::inactive && cfg_->path_compression)
+      maybe_update_next(pr.leader_phase, pr.leader);
+  } else {
+    if (cfg_->path_compression) maybe_update_next(pr.leader_phase, pr.leader);
+    route_reply(ctx, pr.leader, original, pr.requester);
+  }
+}
+
+void node::handle_report_ack(sim::context& ctx, node_id leader, phase_t lp,
+                             node_id reporter,
+                             const sim::message_ptr& original) {
+  if (reporter == id_) {  // our report reached the leader
+    if (status_ == status_t::inactive && cfg_->path_compression)
+      maybe_update_next(lp, leader);
+    return;
+  }
+  if (cfg_->path_compression) maybe_update_next(lp, leader);
+  route_reply(ctx, leader, original, reporter);
 }
 
 void node::drain_deferred(sim::context& ctx) {
@@ -398,7 +549,7 @@ void node::explore_step(sim::context& ctx) {
     if (w == id_) {
       // "v itself may appear in v.more, in this case v simulates the
       // message sending internally" — zero messages.
-      std::vector<node_id> extracted;
+      id_vec extracted;
       bool done_flag = false;
       self_query(k, extracted, done_flag);
       absorb_query_reply(w, extracted, done_flag);
@@ -410,8 +561,7 @@ void node::explore_step(sim::context& ctx) {
   }
 }
 
-void node::self_query(std::size_t k, std::vector<node_id>& out,
-                      bool& done_flag) {
+void node::self_query(std::size_t k, id_vec& out, bool& done_flag) {
   if (local_.size() <= k) {
     out.assign(local_.begin(), local_.end());
     local_.clear();
@@ -426,8 +576,8 @@ void node::self_query(std::size_t k, std::vector<node_id>& out,
   local_.erase(local_.begin(), cut);
 }
 
-void node::absorb_query_reply(node_id w, const std::vector<node_id>& ids,
-                              bool done_flag) {
+template <typename Ids>
+void node::absorb_query_reply(node_id w, const Ids& ids, bool done_flag) {
   if (done_flag && more_.contains(w)) {
     more_.erase(w);
     done_.insert(w);
@@ -435,8 +585,9 @@ void node::absorb_query_reply(node_id w, const std::vector<node_id>& ids,
   insert_unknown(unexplored_, ids, id_, more_, done_, unaware_);
 }
 
-void node::apply_query_reply(sim::context& ctx, node_id from,
-                             const std::vector<node_id>& ids, bool done_flag) {
+template <typename Ids>
+void node::apply_query_reply(sim::context& ctx, node_id from, const Ids& ids,
+                             bool done_flag) {
   ASYNCRD_CHECK(from == pending_query_);
   pending_query_ = invalid_node;
   absorb_query_reply(from, ids, done_flag);
@@ -523,7 +674,7 @@ void node::on_merge_accept(sim::context& ctx, const merge_accept_msg& m) {
   ctx.send(m.conqueror,
            sim::make_message<info_msg>(
                phase_, to_vector(more_), to_vector(done_),
-               ship_unaware ? to_vector(unaware_) : std::vector<node_id>{},
+               ship_unaware ? to_vector(unaware_) : id_vec{},
                to_vector(unexplored_)));
   more_.clear();
   done_.clear();
@@ -539,7 +690,8 @@ void node::on_merge_fail(sim::context& ctx) {
   drain_deferred(ctx);
 }
 
-void node::on_info(sim::context& ctx, node_id from, const info_msg& m) {
+template <typename Info>
+void node::on_info(sim::context& ctx, node_id from, const Info& m) {
   ASYNCRD_CHECK(status_ == status_t::conqueror);
   (void)from;
   if (cfg_->algo == variant::generic) {
@@ -601,7 +753,7 @@ void node::finalize_bounded(sim::context& ctx) {
 
 void node::inactive_on_query(sim::context& ctx, node_id from,
                              const query_msg& m) {
-  std::vector<node_id> extracted;
+  id_vec extracted;
   bool done_flag = false;
   self_query(m.requested, extracted, done_flag);
   ctx.send(from, sim::make_message<query_reply_msg>(std::move(extracted),
@@ -649,8 +801,7 @@ void node::leader_on_probe(sim::context& ctx, node_id from,
   ASYNCRD_CHECK(status_ == status_t::wait || status_ == status_t::terminated);
   ctx.send(from, sim::make_message<probe_reply_msg>(
                      id_, phase_, m.requester,
-                     cfg_->census_in_probe_reply ? census_ids()
-                                                 : std::vector<node_id>{}));
+                     cfg_->census_in_probe_reply ? census_ids() : id_vec{}));
 }
 
 void node::leader_on_report(sim::context& ctx, node_id from,
@@ -683,7 +834,8 @@ void node::initiate_probe(sim::network& net) {
   if (is_leader() || next_ == id_) {
     // We are the leader (or a passive ex-leader that still heads its own
     // chain): the snapshot is our own census.
-    census_ = census_result{id_, census_ids(), ctx.now()};
+    const id_vec c = census_ids();
+    census_ = census_result{id_, {c.begin(), c.end()}, ctx.now()};
     return;
   }
   ctx.send(next_, sim::make_message<probe_msg>(id_));
@@ -747,7 +899,7 @@ void node::send_search(sim::context& ctx, node_id u) {
   ctx.send(u, sim::make_message<search_msg>(id_, phase_, u, false));
 }
 
-std::vector<node_id> node::census_ids() const {
+id_vec node::census_ids() const {
   flat_set<node_id> all = more_;
   all.insert(done_.begin(), done_.end());
   all.insert(unaware_.begin(), unaware_.end());
@@ -762,7 +914,10 @@ void node::maybe_update_next(phase_t ph, node_id leader) {
   }
 }
 
-std::vector<node_id> node::known_members() const { return census_ids(); }
+std::vector<node_id> node::known_members() const {
+  const id_vec c = census_ids();
+  return {c.begin(), c.end()};
+}
 
 std::vector<std::string> node::deferred_types() const {
   std::vector<std::string> out;

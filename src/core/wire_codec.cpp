@@ -1,0 +1,292 @@
+// Binary wire codec for the core message vocabulary.  Grammar in
+// DESIGN.md §10; primitives in sim/wire.h.
+//
+// Encoders write the full frame — header byte first, then scalar fields as
+// varints in declaration order (booleans/enums as one byte), then id sets
+// as varint delta sets.  Decoders re-check everything the encoders
+// guarantee, because the same functions back the malformed-input test
+// suite (and, later, a socket backend fed by untrusted peers).
+
+#include <limits>
+
+#include "core/messages.h"
+
+namespace asyncrd::core::wire {
+
+namespace {
+
+using sim::wire::put_id_set;
+using sim::wire::put_varint;
+using sim::wire::reader;
+using sim::wire::wire_bit;
+
+void put_header(std::vector<std::uint8_t>& out, msg_kind k) {
+  out.push_back(static_cast<std::uint8_t>(wire_bit | tag_of(k)));
+}
+
+template <typename M>
+const M& as(const sim::message& m) {
+  return static_cast<const M&>(m);
+}
+
+// --- encoders (one per type, indexed by tag in codec()) -------------------
+
+void enc_query(const sim::message& m, std::vector<std::uint8_t>& out) {
+  put_header(out, msg_kind::query);
+  put_varint(out, as<query_msg>(m).requested);
+}
+
+void enc_query_reply(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& q = as<query_reply_msg>(m);
+  put_header(out, msg_kind::query_reply);
+  put_id_set(out, q.ids);
+  out.push_back(q.done_flag ? 1 : 0);
+}
+
+void enc_search(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& s = as<search_msg>(m);
+  put_header(out, msg_kind::search);
+  put_varint(out, s.initiator);
+  put_varint(out, s.initiator_phase);
+  put_varint(out, s.target);
+  out.push_back(s.new_flag ? 1 : 0);
+}
+
+void enc_release(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& r = as<release_msg>(m);
+  put_header(out, msg_kind::release);
+  put_varint(out, r.from_leader);
+  put_varint(out, r.from_phase);
+  out.push_back(r.answer == release_msg::answer_t::merge ? 0 : 1);
+  put_varint(out, r.initiator);
+}
+
+void enc_merge_accept(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& a = as<merge_accept_msg>(m);
+  put_header(out, msg_kind::merge_accept);
+  put_varint(out, a.conqueror);
+  put_varint(out, a.conqueror_phase);
+}
+
+void enc_merge_fail(const sim::message&, std::vector<std::uint8_t>& out) {
+  put_header(out, msg_kind::merge_fail);
+}
+
+void enc_info(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& i = as<info_msg>(m);
+  put_header(out, msg_kind::info);
+  put_varint(out, i.phase);
+  put_id_set(out, i.more);
+  put_id_set(out, i.done);
+  put_id_set(out, i.unaware);
+  put_id_set(out, i.unexplored);
+}
+
+void enc_conquer(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& c = as<conquer_msg>(m);
+  put_header(out, msg_kind::conquer);
+  put_varint(out, c.leader);
+  put_varint(out, c.phase);
+}
+
+void enc_member_reply(const sim::message& m, std::vector<std::uint8_t>& out) {
+  put_header(out, msg_kind::member_reply);
+  out.push_back(as<member_reply_msg>(m).has_more ? 1 : 0);
+}
+
+void enc_probe(const sim::message& m, std::vector<std::uint8_t>& out) {
+  put_header(out, msg_kind::probe);
+  put_varint(out, as<probe_msg>(m).requester);
+}
+
+void enc_probe_reply(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& p = as<probe_reply_msg>(m);
+  put_header(out, msg_kind::probe_reply);
+  put_varint(out, p.leader);
+  put_varint(out, p.leader_phase);
+  put_varint(out, p.requester);
+  put_id_set(out, p.census);
+}
+
+void enc_report(const sim::message& m, std::vector<std::uint8_t>& out) {
+  put_header(out, msg_kind::report);
+  put_varint(out, as<report_msg>(m).reporter);
+}
+
+void enc_report_ack(const sim::message& m, std::vector<std::uint8_t>& out) {
+  const auto& r = as<report_ack_msg>(m);
+  put_header(out, msg_kind::report_ack);
+  put_varint(out, r.leader);
+  put_varint(out, r.leader_phase);
+  put_varint(out, r.reporter);
+}
+
+// --- decode helpers -------------------------------------------------------
+
+reader open(const sim::wire_msg& w, msg_kind want) {
+  if (w.inner_tag() != tag_of(want))
+    throw sim::wire::decode_error("wire: frame tag does not match decoder");
+  return reader(w.payload(), w.payload_size());
+}
+
+node_id rd_id(reader& r) {
+  const std::uint64_t v = r.varint();
+  if (v > std::numeric_limits<node_id>::max())
+    throw sim::wire::decode_error("wire: id field exceeds node_id range");
+  return static_cast<node_id>(v);
+}
+
+phase_t rd_phase(reader& r) {
+  const std::uint64_t v = r.varint();
+  if (v > std::numeric_limits<phase_t>::max())
+    throw sim::wire::decode_error("wire: phase field exceeds 32 bits");
+  return static_cast<phase_t>(v);
+}
+
+bool rd_bool(reader& r) {
+  const std::uint8_t b = r.byte();
+  if (b > 1) throw sim::wire::decode_error("wire: boolean byte not 0/1");
+  return b != 0;
+}
+
+}  // namespace
+
+const sim::wire_codec& codec() noexcept {
+  static const sim::wire_codec table = [] {
+    sim::wire_codec c;
+    c.encode[tag_of(msg_kind::query)] = enc_query;
+    c.encode[tag_of(msg_kind::query_reply)] = enc_query_reply;
+    c.encode[tag_of(msg_kind::search)] = enc_search;
+    c.encode[tag_of(msg_kind::release)] = enc_release;
+    c.encode[tag_of(msg_kind::merge_accept)] = enc_merge_accept;
+    c.encode[tag_of(msg_kind::merge_fail)] = enc_merge_fail;
+    c.encode[tag_of(msg_kind::info)] = enc_info;
+    c.encode[tag_of(msg_kind::conquer)] = enc_conquer;
+    c.encode[tag_of(msg_kind::member_reply)] = enc_member_reply;
+    c.encode[tag_of(msg_kind::probe)] = enc_probe;
+    c.encode[tag_of(msg_kind::probe_reply)] = enc_probe_reply;
+    c.encode[tag_of(msg_kind::report)] = enc_report;
+    c.encode[tag_of(msg_kind::report_ack)] = enc_report_ack;
+    // Only the id-set carriers trade their structs (plus pooled vectors)
+    // for the compact frame; fixed-field messages are already minimal and
+    // just have their frame bytes counted.
+    c.materialize[tag_of(msg_kind::query_reply)] = true;
+    c.materialize[tag_of(msg_kind::info)] = true;
+    c.materialize[tag_of(msg_kind::probe_reply)] = true;
+    return c;
+  }();
+  return table;
+}
+
+query_view decode_query(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::query);
+  query_view v{static_cast<std::size_t>(r.varint())};
+  r.expect_end();
+  return v;
+}
+
+query_reply_view decode_query_reply(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::query_reply);
+  query_reply_view v;
+  v.ids = sim::wire::id_set_view::parse(r);
+  v.done_flag = rd_bool(r);
+  r.expect_end();
+  return v;
+}
+
+search_view decode_search(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::search);
+  search_view v;
+  v.initiator = rd_id(r);
+  v.initiator_phase = rd_phase(r);
+  v.target = rd_id(r);
+  v.new_flag = rd_bool(r);
+  r.expect_end();
+  return v;
+}
+
+release_view decode_release(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::release);
+  release_view v;
+  v.from_leader = rd_id(r);
+  v.from_phase = rd_phase(r);
+  v.answer = rd_bool(r) ? release_msg::answer_t::abort
+                        : release_msg::answer_t::merge;
+  v.initiator = rd_id(r);
+  r.expect_end();
+  return v;
+}
+
+merge_accept_view decode_merge_accept(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::merge_accept);
+  merge_accept_view v;
+  v.conqueror = rd_id(r);
+  v.conqueror_phase = rd_phase(r);
+  r.expect_end();
+  return v;
+}
+
+info_view decode_info(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::info);
+  info_view v;
+  v.phase = rd_phase(r);
+  v.more = sim::wire::id_set_view::parse(r);
+  v.done = sim::wire::id_set_view::parse(r);
+  v.unaware = sim::wire::id_set_view::parse(r);
+  v.unexplored = sim::wire::id_set_view::parse(r);
+  r.expect_end();
+  return v;
+}
+
+conquer_view decode_conquer(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::conquer);
+  conquer_view v;
+  v.leader = rd_id(r);
+  v.phase = rd_phase(r);
+  r.expect_end();
+  return v;
+}
+
+member_reply_view decode_member_reply(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::member_reply);
+  member_reply_view v{rd_bool(r)};
+  r.expect_end();
+  return v;
+}
+
+probe_view decode_probe(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::probe);
+  probe_view v{rd_id(r)};
+  r.expect_end();
+  return v;
+}
+
+probe_reply_view decode_probe_reply(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::probe_reply);
+  probe_reply_view v;
+  v.leader = rd_id(r);
+  v.leader_phase = rd_phase(r);
+  v.requester = rd_id(r);
+  v.census = sim::wire::id_set_view::parse(r);
+  r.expect_end();
+  return v;
+}
+
+report_view decode_report(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::report);
+  report_view v{rd_id(r)};
+  r.expect_end();
+  return v;
+}
+
+report_ack_view decode_report_ack(const sim::wire_msg& w) {
+  reader r = open(w, msg_kind::report_ack);
+  report_ack_view v;
+  v.leader = rd_id(r);
+  v.leader_phase = rd_phase(r);
+  v.reporter = rd_id(r);
+  r.expect_end();
+  return v;
+}
+
+}  // namespace asyncrd::core::wire

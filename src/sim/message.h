@@ -92,17 +92,27 @@ void trim() noexcept;
 void trim_global() noexcept;
 
 /// Pool occupancy and cross-thread migration counters.  The thread_*
-/// fields describe the calling thread's cache; the reclaim counters are
-/// cumulative and process-wide (telemetry::record_pool exports them).
+/// fields describe the calling thread's cache; the reclaim counters and
+/// the live/peak gauges are process-wide (telemetry::record_pool exports
+/// them).
 struct pool_stats {
   std::size_t thread_cached_blocks = 0;
   std::size_t thread_cached_bytes = 0;
   std::size_t global_cached_blocks = 0;
   std::uint64_t reclaim_donations = 0;  ///< blocks spilled thread -> global
   std::uint64_t reclaim_grabs = 0;      ///< blocks refilled global -> thread
+  /// Bytes currently resident in live pool blocks (allocated minus freed,
+  /// charged at the block's full class size), across all threads.
+  std::int64_t live_bytes = 0;
+  /// High-water mark of live_bytes since the last reset_peak_bytes().
+  std::int64_t peak_bytes = 0;
 };
 
 pool_stats stats() noexcept;
+
+/// Restarts the live-byte high-water mark from the current level, so a
+/// bench can measure one workload's footprint in isolation.
+void reset_peak_bytes() noexcept;
 
 }  // namespace pool_detail
 

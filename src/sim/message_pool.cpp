@@ -20,6 +20,7 @@
 #include "sim/message.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <new>
@@ -72,6 +73,31 @@ global_pool& global() {
   return pool;
 }
 
+/// Live-byte gauges: allocate charges the block's full charged size (class
+/// size for pooled blocks, exact size above the largest class); deallocate
+/// refunds it on whichever thread frees.  Process-wide relaxed atomics —
+/// blocks migrate threads under the parallel engine, so per-thread gauges
+/// would drift negative on the coordinator.  These count *live* blocks
+/// handed to callers, not free-list inventory: exactly the message-footprint
+/// number the struct-vs-wire bench comparison needs.
+std::atomic<std::int64_t> live_bytes_{0};
+std::atomic<std::int64_t> peak_bytes_{0};
+
+void charge(std::size_t bytes) noexcept {
+  const auto b = static_cast<std::int64_t>(bytes);
+  const std::int64_t now =
+      live_bytes_.fetch_add(b, std::memory_order_relaxed) + b;
+  std::int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void refund(std::size_t bytes) noexcept {
+  live_bytes_.fetch_sub(static_cast<std::int64_t>(bytes),
+                        std::memory_order_relaxed);
+}
+
 /// Class index for a byte size (size must be in (0, max_bytes]).
 std::size_t class_of(std::size_t bytes) noexcept {
   return (bytes - 1) / class_step;
@@ -116,8 +142,13 @@ void donate(free_lists& fl, std::size_t ci, void* p) noexcept {
 
 void* allocate(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
-  if (bytes > max_bytes) return ::operator new(bytes);
+  if (bytes > max_bytes) {
+    void* p = ::operator new(bytes);
+    charge(bytes);
+    return p;
+  }
   const std::size_t ci = class_of(bytes);
+  charge(class_bytes(ci));
   free_lists& fl = local();
   auto& list = fl.cls[ci];
   if (!list.empty()) {
@@ -156,10 +187,12 @@ void deallocate(void* p, std::size_t bytes) noexcept {
   if (p == nullptr) return;
   if (bytes == 0) bytes = 1;
   if (bytes > max_bytes) {
+    refund(bytes);
     ::operator delete(p);
     return;
   }
   const std::size_t ci = class_of(bytes);
+  refund(class_bytes(ci));
   free_lists& fl = local();
   auto& list = fl.cls[ci];
   const std::size_t cb = class_bytes(ci);
@@ -219,7 +252,14 @@ pool_stats stats() noexcept {
     s.reclaim_grabs = g.grabs;
   } catch (...) {
   }
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
   return s;
+}
+
+void reset_peak_bytes() noexcept {
+  peak_bytes_.store(live_bytes_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
 }
 
 }  // namespace asyncrd::sim::pool_detail

@@ -187,6 +187,51 @@ void network::set_link_adapter(link_adapter* a) {
   adapter_ = a;
 }
 
+void network::set_wire_codec(const wire_codec* c) {
+  if (manual_mode_) throw std::logic_error("set_wire_codec in manual mode");
+  if (!events_.empty() || !channels_empty())
+    throw std::logic_error("set_wire_codec after traffic");
+  codec_ = c;
+}
+
+message_ptr network::wire_encode(message_ptr m) {
+  const std::uint8_t tag = m->dispatch_tag();
+  const std::uint8_t inner =
+      tag & static_cast<std::uint8_t>(~wire::wire_bit);
+  if (inner == 0 || inner >= codec_->encode.size() ||
+      codec_->encode[inner] == nullptr)
+    return m;  // no wire form for this type: pass through, uncounted
+  if ((tag & wire::wire_bit) != 0) {
+    // Already encoded — a routing hop forwarding the frame it received.
+    // Each hop is a wire transmission, so the bytes count again.
+    const auto& wm = static_cast<const wire_msg&>(*m);
+    wire_slot& s = wire_slots_[inner];
+    if (s.name.empty()) s.name = wm.type_name();
+    ++s.frames;
+    s.bytes += wm.size();
+    ++wire_frames_;
+    wire_bytes_ += wm.size();
+    return m;
+  }
+  // Encode runs with deferred_ off only (parallel replay funnels every app
+  // send back through send_internal serially), so one scratch buffer per
+  // thread is plenty and the counters advance in serial (at, seq) order.
+  static thread_local std::vector<std::uint8_t> scratch;
+  scratch.clear();
+  codec_->encode[inner](*m, scratch);
+  wire_slot& s = wire_slots_[inner];
+  if (s.name.empty()) s.name = m->type_name();
+  ++s.frames;
+  s.bytes += scratch.size();
+  ++wire_frames_;
+  wire_bytes_ += scratch.size();
+  // The frame's bytes are what a socket would carry and are counted above
+  // for every encoded type; the frame *object* only replaces the struct
+  // where that shrinks the resident footprint (see wire_codec::materialize).
+  if (!codec_->materialize[inner]) return m;
+  return make_message<wire_msg>(*m, scratch.data(), scratch.size());
+}
+
 bool network::outage_active(const channel& ch) const noexcept {
   if (plan_.outage_period == 0 || plan_.outage_duration == 0) return false;
   const std::uint64_t phase =
@@ -307,6 +352,12 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
     tls_deferral->defer_app_send(from, to, std::move(m));
     return;
   }
+  // Wire mode: encode (or recognize a forwarded frame) and account bytes
+  // here — the one choke point every application send funnels through,
+  // before the fault plan or the adapter see it.  Counted bytes are the
+  // application bytes *offered* to the transport: chaos drops/duplicates
+  // and ARQ retransmissions below this line don't change them.
+  if (codec_ != nullptr) m = wire_encode(std::move(m));
   // With a reliable-delivery adapter installed, application sends detour
   // through it; the adapter re-enters via transport_send with its envelopes.
   if (adapter_ != nullptr) {

@@ -50,6 +50,7 @@
 #include "sim/profiler.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
+#include "sim/wire.h"
 
 namespace asyncrd::sim {
 
@@ -350,6 +351,36 @@ class network {
   void set_link_adapter(link_adapter* a);
   link_adapter* adapter() const noexcept { return adapter_; }
 
+  // --- wire mode ----------------------------------------------------------
+  //
+  // With a codec installed, every application send whose dispatch_tag has a
+  // registered encoder is replaced at the send choke point by a wire_msg
+  // carrying the encoded frame; the pool then holds encoded bytes instead
+  // of structs and the frame size is accounted below.  Encoding happens
+  // before the fault plan and the link adapter see the message, so chaos
+  // semantics and ARQ envelopes are unchanged — they transport frames.
+  // Forwarded frames (routing hops resending the same message) are counted
+  // again per hop: each hop is a wire transmission.  Messages with no
+  // encoder (foreign test types) pass through as structs, uncounted.
+
+  /// Installs (nullptr uninstalls) the codec (not owned; must outlive the
+  /// run).  Must be called before any traffic; mutually exclusive with
+  /// manual mode.
+  void set_wire_codec(const wire_codec* c);
+  bool wire_enabled() const noexcept { return codec_ != nullptr; }
+
+  /// Per-inner-tag wire accounting (all zero with wire mode off).
+  struct wire_slot {
+    std::string_view name;     ///< inner type_name ("" = tag never sent)
+    std::uint64_t frames = 0;  ///< frames offered to the transport
+    std::uint64_t bytes = 0;   ///< frame bytes, header byte included
+  };
+  std::uint64_t wire_bytes_sent() const noexcept { return wire_bytes_; }
+  std::uint64_t wire_frames() const noexcept { return wire_frames_; }
+  const std::array<wire_slot, 128>& wire_by_tag() const noexcept {
+    return wire_slots_;
+  }
+
   /// Raw transport-level send, bypassing the installed adapter (adapters
   /// use this to put envelopes and acks on the wire; the fault plan
   /// applies).  With no adapter installed this is exactly what
@@ -605,6 +636,12 @@ class network {
 
   void send_internal(node_id from, node_id to, message_ptr m);
 
+  /// Wire mode: encodes `m` through the codec table (or recognizes an
+  /// already-encoded forwarded frame) and accounts its bytes.  Returns the
+  /// message to transport — the wire_msg, or `m` unchanged if its tag has
+  /// no encoder.
+  message_ptr wire_encode(message_ptr m);
+
   /// The one place a transmission goes on the wire: rolls the channel's
   /// fault plan (outage / drop / duplicate / extra reorder delay), enqueues
   /// the surviving copies, and schedules their delivery events.  `counted`
@@ -645,6 +682,10 @@ class network {
   fault_stats fault_stats_;
   bool faults_on_ = false;
   link_adapter* adapter_ = nullptr;
+  const wire_codec* codec_ = nullptr;
+  std::array<wire_slot, 128> wire_slots_{};
+  std::uint64_t wire_bytes_ = 0;
+  std::uint64_t wire_frames_ = 0;
   stats stats_;
   multi_observer observers_;
   run_timing timing_;

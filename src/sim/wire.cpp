@@ -1,0 +1,67 @@
+#include "sim/wire.h"
+
+#include <cstring>
+#include <limits>
+
+namespace asyncrd::sim::wire {
+
+std::uint64_t reader::varint() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (p_ == end_) throw decode_error("wire: truncated varint");
+    const std::uint8_t b = *p_++;
+    if (shift == 63 && (b & 0x7E) != 0)
+      throw decode_error("wire: varint exceeds 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw decode_error("wire: varint exceeds 64 bits");
+  }
+}
+
+id_set_view id_set_view::parse(reader& r) {
+  const std::uint64_t count = r.varint();
+  const std::uint8_t* first = r.pos();
+  // Each id costs at least one byte, so an absurd count on a short frame
+  // fails below with "truncated varint" — no separate length pre-check.
+  std::uint64_t cur = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t d = r.varint();
+    if (i == 0) {
+      cur = d;
+      continue;
+    }
+    if (d == 0) throw decode_error("wire: id set delta is zero (not sorted)");
+    if (d > std::numeric_limits<std::uint64_t>::max() - cur)
+      throw decode_error("wire: id set overflows 64 bits");
+    cur += d;
+  }
+  return id_set_view(first, static_cast<std::size_t>(count));
+}
+
+}  // namespace asyncrd::sim::wire
+
+namespace asyncrd::sim {
+
+wire_msg::wire_msg(const message& inner, const std::uint8_t* frame,
+                   std::size_t len)
+    : message(frame[0]),
+      name_(inner.type_name()),
+      ids_(static_cast<std::uint32_t>(inner.id_fields())),
+      ints_(static_cast<std::uint32_t>(inner.int_fields())),
+      flags_(static_cast<std::uint32_t>(inner.flag_bits())),
+      len_(static_cast<std::uint32_t>(len)) {
+  std::uint8_t* dst = inline_;
+  if (len_ > inline_capacity) {
+    heap_ = static_cast<std::uint8_t*>(pool_detail::allocate(len_));
+    dst = heap_;
+  }
+  std::memcpy(dst, frame, len_);
+}
+
+wire_msg::~wire_msg() {
+  if (len_ > inline_capacity) pool_detail::deallocate(heap_, len_);
+}
+
+}  // namespace asyncrd::sim

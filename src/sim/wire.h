@@ -1,0 +1,271 @@
+// Compact binary wire framing for simulator messages (ROADMAP item 5).
+//
+// A frame is: one header byte (wire::wire_bit | inner dispatch_tag), then
+// the payload the protocol's codec table wrote for that tag — varint scalar
+// fields and sorted-id-set payloads encoded as varint *deltas*.  The frame
+// is the unit the network accounts under `wire.bytes_sent`, so every byte a
+// socket backend would put on the wire is in it, including the header.
+//
+// Varints are LEB128: 7 payload bits per byte, least-significant group
+// first, high bit set on every byte except the last.  An id set with ids
+// a1 < a2 < ... < ak is encoded as
+//
+//   varint(k)  varint(a1)  varint(a2-a1) ... varint(ak-a(k-1))
+//
+// with every delta >= 1 (a zero delta, a truncated varint, or an id-sum
+// overflow makes the frame malformed and the decoder throws decode_error).
+// Decoding is zero-copy: id_set_view validates the byte range once at parse
+// time and then iterates the deltas in place — no vector materialization on
+// the delivery path.
+//
+// This layer is protocol-agnostic: it knows bytes, varints, and delta sets.
+// The message vocabulary registers per-tag encoders in a wire_codec table
+// (core/messages.h builds the table for the paper's 13 message types) and
+// the network applies it at the send choke point.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace asyncrd::sim::wire {
+
+/// Set on the dispatch_tag of every encoded frame (and of wire_msg itself):
+/// header byte = wire_bit | inner tag.  Inner tags are < 0x80 by
+/// construction (the codec table is indexed by them), so the bit is free.
+inline constexpr std::uint8_t wire_bit = 0x80;
+
+/// Appends v as a LEB128 varint (1..10 bytes).
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Encoded size of v as a varint, in bytes.
+inline std::size_t varint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Appends a strictly-increasing id range as a delta set (grammar above).
+/// Precondition: ids are strictly increasing; the decoder enforces it.
+template <typename Range>
+void put_id_set(std::vector<std::uint8_t>& out, const Range& ids) {
+  put_varint(out, static_cast<std::uint64_t>(ids.size()));
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const auto id : ids) {
+    const std::uint64_t v = static_cast<std::uint64_t>(id);
+    put_varint(out, first ? v : v - prev);
+    prev = v;
+    first = false;
+  }
+}
+
+/// Thrown on any malformed frame: truncated varint, varint wider than 64
+/// bits, unknown tag, zero delta, id overflow, or trailing garbage.
+class decode_error : public std::runtime_error {
+ public:
+  explicit decode_error(const char* what) : std::runtime_error(what) {}
+};
+
+/// Bounds-checked cursor over an encoded frame.  All reads throw
+/// decode_error instead of walking past the end.
+class reader {
+ public:
+  reader(const std::uint8_t* data, std::size_t len) noexcept
+      : p_(data), end_(data + len) {}
+
+  bool done() const noexcept { return p_ == end_; }
+  const std::uint8_t* pos() const noexcept { return p_; }
+
+  std::uint8_t byte() {
+    if (p_ == end_) throw decode_error("wire: truncated frame");
+    return *p_++;
+  }
+
+  std::uint64_t varint();
+
+  /// Rejects frames with bytes after the last field.
+  void expect_end() const {
+    if (p_ != end_) throw decode_error("wire: trailing bytes after payload");
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+/// Zero-copy view of an encoded delta set.  parse() validates the whole
+/// range up front (count, first id, strictly-positive deltas, no overflow),
+/// so iteration afterwards is noexcept and does no bounds checks: the
+/// iterator accumulates deltas in place as it walks the validated bytes.
+class id_set_view {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint64_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint64_t*;
+    using reference = std::uint64_t;
+
+    iterator() noexcept = default;
+
+    std::uint64_t operator*() const noexcept { return cur_; }
+
+    iterator& operator++() noexcept {
+      if (--left_ > 0) cur_ += read();
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+
+    /// Iterators into the same view compare by remaining count; the end
+    /// iterator (and a default-constructed one) has left_ == 0.
+    bool operator==(const iterator& o) const noexcept {
+      return left_ == o.left_;
+    }
+    bool operator!=(const iterator& o) const noexcept { return !(*this == o); }
+
+   private:
+    friend class id_set_view;
+    iterator(const std::uint8_t* p, std::size_t count) noexcept
+        : p_(p), left_(count) {
+      if (left_ > 0) cur_ = read();
+    }
+
+    // Unchecked varint read over bytes parse() already validated.
+    std::uint64_t read() noexcept {
+      std::uint64_t v = 0;
+      unsigned shift = 0;
+      std::uint8_t b;
+      do {
+        b = *p_++;
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        shift += 7;
+      } while ((b & 0x80) != 0);
+      return v;
+    }
+
+    const std::uint8_t* p_ = nullptr;
+    std::uint64_t cur_ = 0;
+    std::size_t left_ = 0;
+  };
+
+  id_set_view() noexcept = default;
+
+  /// Validates and consumes one delta set from r.  Throws decode_error on
+  /// truncation, zero delta, or accumulated-id overflow.
+  static id_set_view parse(reader& r);
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  iterator begin() const noexcept { return iterator(data_, count_); }
+  iterator end() const noexcept { return iterator(); }
+
+ private:
+  id_set_view(const std::uint8_t* data, std::size_t count) noexcept
+      : data_(data), count_(count) {}
+
+  const std::uint8_t* data_ = nullptr;  ///< first-id varint (validated)
+  std::size_t count_ = 0;
+};
+
+}  // namespace asyncrd::sim::wire
+
+namespace asyncrd::sim {
+
+/// A message that carries its own encoded frame instead of struct fields —
+/// what the message pool holds in wire mode for types the codec
+/// materializes (wire_codec::materialize).  dispatch_tag is
+/// wire::wire_bit | inner tag; the paper's bit accounting (type_name,
+/// id/int/flag field counts) is captured from the inner message at encode
+/// time so stats and traces are byte-identical with wire mode off.
+///
+/// The frame lives inline for small messages (the common case: every
+/// fixed-field message fits) and spills to the size-classed message pool
+/// for large id sets.
+///
+/// Requires the inner message's type_name() to return a pointer with static
+/// storage duration (true for every core message: they return literals) —
+/// the view outlives the encoded struct.
+class wire_msg final : public message {
+ public:
+  wire_msg(const message& inner, const std::uint8_t* frame, std::size_t len);
+  ~wire_msg() override;
+
+  wire_msg(const wire_msg&) = delete;
+  wire_msg& operator=(const wire_msg&) = delete;
+
+  /// Whole frame, header byte included.
+  const std::uint8_t* data() const noexcept {
+    return len_ > inline_capacity ? heap_ : inline_;
+  }
+  std::size_t size() const noexcept { return len_; }
+
+  /// Payload after the header byte (what the codec's decoder parses).
+  const std::uint8_t* payload() const noexcept { return data() + 1; }
+  std::size_t payload_size() const noexcept { return len_ - 1; }
+
+  std::uint8_t inner_tag() const noexcept {
+    return dispatch_tag() & static_cast<std::uint8_t>(~wire::wire_bit);
+  }
+
+  std::string_view type_name() const noexcept override { return name_; }
+  std::size_t id_fields() const noexcept override { return ids_; }
+  std::size_t int_fields() const noexcept override { return ints_; }
+  std::size_t flag_bits() const noexcept override { return flags_; }
+
+ private:
+  static constexpr std::size_t inline_capacity = 32;
+
+  std::string_view name_;
+  std::uint32_t ids_ = 0;
+  std::uint32_t ints_ = 0;
+  std::uint32_t flags_ = 0;
+  std::uint32_t len_ = 0;
+  union {
+    std::uint8_t inline_[inline_capacity];
+    std::uint8_t* heap_;
+  };
+};
+
+/// Writes the full frame (header byte first) for one concrete message type.
+using wire_encode_fn = void (*)(const message&, std::vector<std::uint8_t>&);
+
+/// Per-protocol encoder table, indexed by inner dispatch_tag.  A null slot
+/// means "no wire form" — the network passes such messages through as
+/// structs, uncounted (foreign test messages keep working in wire mode).
+///
+/// `materialize[tag]` decides whether the encoded frame *replaces* the
+/// struct in the simulation (the message pool then holds a wire_msg and the
+/// receiver decodes zero-copy).  Every encoded type is counted under
+/// wire.bytes_sent either way; materializing pays a wire_msg allocation, so
+/// protocols set it only for types whose payload the frame shrinks —
+/// id-set carriers, where one compact delta-set frame replaces the struct
+/// plus its heap vectors.  For small fixed-field messages the struct is
+/// already the minimal representation, and re-boxing a 7-byte frame into a
+/// pooled object would *grow* the resident footprint it exists to shrink.
+struct wire_codec {
+  std::array<wire_encode_fn, 128> encode{};
+  std::array<bool, 128> materialize{};
+};
+
+}  // namespace asyncrd::sim

@@ -97,6 +97,15 @@ json_writer& json_writer::value(bool v) {
 json_writer& json_writer::value(double v) {
   if (!std::isfinite(v)) return null();
   comma();
+  // Integral values inside the exactly-representable range serialize as
+  // plain integers.  The shortest-round-trip loop below would otherwise
+  // accept scientific notation for them (1000.0 -> "1e+03"), which JSON
+  // consumers that expect counts (n, |E0|, bench params) choke on.
+  constexpr double exact_max = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && v >= -exact_max && v <= exact_max) {
+    out_ += std::to_string(static_cast<std::int64_t>(v));
+    return *this;
+  }
   // Shortest representation that round-trips (%.17g always does; most
   // telemetry values need far fewer digits).
   char buf[32];

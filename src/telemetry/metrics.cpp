@@ -79,6 +79,8 @@ void record_pool(registry& reg, std::string_view prefix,
       .set(static_cast<double>(ps.reclaim_donations));
   reg.get_gauge(p + ".reclaim_grabs")
       .set(static_cast<double>(ps.reclaim_grabs));
+  reg.get_gauge(p + ".live_bytes").set(static_cast<double>(ps.live_bytes));
+  reg.get_gauge(p + ".peak_bytes").set(static_cast<double>(ps.peak_bytes));
 }
 
 void registry::write_json(json_writer& w) const {

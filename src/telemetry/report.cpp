@@ -33,6 +33,22 @@ void run_report::write_json(json_writer& w) const {
   }
   w.end_object();
 
+  if (wire.enabled) {
+    w.key("wire").begin_object();
+    w.kv("enabled", wire.enabled);
+    w.kv("bytes_sent", wire.bytes_sent);
+    w.kv("frames", wire.frames);
+    w.key("by_type").begin_object();
+    for (const auto& [type, tb] : wire.by_type) {
+      w.key(type).begin_object();
+      w.kv("count", tb.count);
+      w.kv("bytes", tb.bytes);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+
   w.key("load");
   load.write_json(w);
   w.kv("max_load", max_load);
@@ -165,6 +181,18 @@ run_report collect_run_report(const core::discovery_run& run,
   if (transitions != nullptr)
     rep.transitions = transitions->edge_multiplicities();
 
+  if (run.net().wire_enabled()) {
+    rep.wire.enabled = true;
+    rep.wire.bytes_sent = run.net().wire_bytes_sent();
+    rep.wire.frames = run.net().wire_frames();
+    for (const sim::network::wire_slot& slot : run.net().wire_by_tag()) {
+      if (slot.frames == 0) continue;
+      auto& tb = rep.wire.by_type[std::string(slot.name)];
+      tb.count += slot.frames;
+      tb.bytes += slot.bytes;
+    }
+  }
+
   rep.chaos.enabled = run.net().faults_enabled();
   const sim::fault_stats& fs = run.net().faults();
   rep.chaos.transmissions = fs.transmissions;
@@ -208,6 +236,7 @@ void run_recorder::metrics_observer::on_wake(sim::sim_time, node_id) {
 
 run_recorder::run_recorder(core::discovery_run& run, recorder_options opts)
     : run_(&run), metrics_obs_(metrics_) {
+  if (opts.wire) run_->enable_wire();
   load_.reserve_dense(run.net().node_count());
   run_->net().add_observer(&load_);
   run_->net().add_observer(&metrics_obs_);

@@ -70,6 +70,24 @@ struct run_report {
   std::uint64_t id_bits = 0;
   std::map<std::string, sim::type_stats, std::less<>> messages_by_type;
 
+  /// Binary wire codec accounting (sim/wire.h).  Serialized only when the
+  /// codec was armed — a wire-off report stays byte-identical to earlier
+  /// v3 documents, and determinism tests clear `enabled` to diff a wire-on
+  /// run against its struct twin.  Counts are application frames offered to
+  /// the transport: every routing hop retransmits (and re-counts) its
+  /// frame; chaos-duplicated transmissions do not add frames.
+  struct wire_report {
+    bool enabled = false;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames = 0;
+    struct type_bytes {
+      std::uint64_t count = 0;
+      std::uint64_t bytes = 0;
+    };
+    std::map<std::string, type_bytes, std::less<>> by_type;
+  };
+  wire_report wire;
+
   /// Per-node load distribution (sent + received per node), as a
   /// histogram — O(log max) memory however large the network.
   histogram load;
@@ -185,6 +203,9 @@ struct recorder_options {
   std::size_t flight_capacity = 0;
   /// Arm the hot-path cost profiler (sim/profiler.h) for the run.
   bool profile = false;
+  /// Arm the binary wire codec (discovery_run::enable_wire()) and report
+  /// the measured per-type wire bytes in the "wire" block.
+  bool wire = false;
 };
 
 /// Arms a load observer, a transition recorder, and a metrics registry on a

@@ -56,8 +56,8 @@ TEST(MessagePool, PooledMessagesSurviveSharing) {
   sim::message_ptr held;
   {
     const auto m = sim::make_message<core::info_msg>(
-        1, std::vector<node_id>{1, 2}, std::vector<node_id>{3},
-        std::vector<node_id>{}, std::vector<node_id>{4});
+        1, core::id_vec{1, 2}, core::id_vec{3}, core::id_vec{},
+        core::id_vec{4});
     held = m;
   }
   EXPECT_EQ(held->type_name(), "info");

@@ -173,6 +173,72 @@ TEST(ParallelEngine, RunReportsIdenticalAcrossShardCounts) {
     EXPECT_EQ(report_once(shards), serial) << "shards " << shards;
 }
 
+TEST(ParallelEngine, WireRunReportsIdenticalAcrossShardCountsAndModes) {
+  // Wire mode rides the same send choke point the parallel replay funnels
+  // through, so two properties must hold at once: (a) a wire-mode report —
+  // including the wire.* byte counters — is identical at every shard count,
+  // and (b) with the wire block excluded it is identical to the struct-mode
+  // serial report.
+  const auto g = graph::random_weakly_connected(50, 110, 13);
+  const auto report_once = [&](std::size_t shards, bool wire,
+                               bool strip_wire) {
+    sim::random_delay_scheduler sched(13);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    if (wire) run.enable_wire();
+    run.wake_all();
+    const sim::run_result r =
+        shards == SIZE_MAX ? run.run() : run.run_parallel(shards);
+    telemetry::run_report rep = telemetry::collect_run_report(run, r);
+    rep.wall_ms = 0.0;
+    rep.events_per_sec = 0.0;
+    if (strip_wire) rep.wire = {};
+    return rep.to_json();
+  };
+  const std::string wire_serial = report_once(SIZE_MAX, true, false);
+  EXPECT_NE(wire_serial.find("\"wire\""), std::string::npos);
+  for (const std::size_t shards : kShardMatrix)
+    EXPECT_EQ(report_once(shards, true, false), wire_serial)
+        << "shards " << shards;
+  EXPECT_EQ(report_once(SIZE_MAX, true, true),
+            report_once(SIZE_MAX, false, true));
+}
+
+TEST(ParallelEngine, WireChaosReplaysByteForByteAtEveryShardCount) {
+  // Frames under a lossy transport, replayed in parallel: the wire byte
+  // counters join the fault and ARQ counters in the fingerprint.
+  const auto g = graph::random_weakly_connected(40, 80, 29);
+  const auto run_once = [&](std::size_t shards) {
+    sim::random_delay_scheduler sched(29);
+    core::config cfg;
+    core::discovery_run run(g, cfg, sched);
+    run.enable_wire();
+    sim::fault_plan plan;
+    plan.seed = 29;
+    plan.drop = 0.15;
+    plan.duplicate = 0.1;
+    plan.reorder_slack = 16;
+    run.enable_chaos(plan);
+    telemetry::tracer tr(run.net());
+    run.net().add_observer(&tr);
+    run.wake_all();
+    const sim::run_result r =
+        shards == SIZE_MAX ? run.run() : run.run_parallel(shards);
+    EXPECT_TRUE(r.completed);
+    const auto& f = run.net().faults();
+    return std::tuple{fingerprint(run, r, tr),
+                      f.transmissions,
+                      f.drops,
+                      f.duplicates,
+                      run.net().wire_bytes_sent(),
+                      run.net().wire_frames()};
+  };
+  const auto serial = run_once(SIZE_MAX);
+  EXPECT_GT(std::get<4>(serial), 0u);
+  for (const std::size_t shards : kShardMatrix)
+    EXPECT_EQ(run_once(shards), serial) << "shards " << shards;
+}
+
 TEST(ParallelEngine, EngineAccountsWindowsAndRejectsManualMode) {
   const auto g = graph::random_weakly_connected(200, 500, 17);
   sim::unit_delay_scheduler sched;

@@ -5,9 +5,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "../bench/bench_report.h"
 #include "common/rng.h"
 #include "core/runner.h"
 #include "graph/topology.h"
@@ -197,6 +201,70 @@ TEST(Json, WriterRoundTripsThroughParser) {
   EXPECT_DOUBLE_EQ(parsed->find("neg")->as_number(), -123.0);
   EXPECT_TRUE(parsed->find("null_here")->is_null());
   EXPECT_EQ(parsed->find("absent"), nullptr);
+}
+
+TEST(Json, IntegralDoublesSerializeWithoutExponent) {
+  // Regression: the shortest-round-trip loop accepted "%.1g" for 1000.0,
+  // emitting "1e+03" — bench params like n then reached consumers as
+  // scientific notation.  Integral doubles within 2^53 must print as plain
+  // integers; genuine fractions and huge magnitudes keep the old behavior.
+  const auto emit = [](double v) {
+    telemetry::json_writer w;
+    w.begin_object();
+    w.kv("v", v);
+    w.end_object();
+    return w.take();
+  };
+  EXPECT_EQ(emit(1000.0), "{\"v\":1000}");
+  EXPECT_EQ(emit(0.0), "{\"v\":0}");
+  EXPECT_EQ(emit(-250000.0), "{\"v\":-250000}");
+  EXPECT_EQ(emit(9007199254740992.0), "{\"v\":9007199254740992}");  // 2^53
+  EXPECT_EQ(emit(0.5), "{\"v\":0.5}");
+  EXPECT_EQ(emit(1e18), "{\"v\":1e+18}");  // integral but above 2^53
+
+  // Full-precision round-trip must survive for true doubles.
+  for (const double v : {1000.0, 352957.97, 0.1 + 0.2, 1.0 / 3.0, -1e-9,
+                         9007199254740992.0, 1e18}) {
+    telemetry::json_writer w;
+    w.begin_object();
+    w.kv("v", v);
+    w.end_object();
+    const auto parsed = telemetry::json_parse(w.take());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("v")->as_number(), v);
+  }
+}
+
+TEST(BenchReport, IntegralParamsSerializeAsIntegersAndRoundTrip) {
+  // End-to-end pin through the bench reporter: n / measured columns carry
+  // integral doubles, which must reach the file as plain integers (the bug
+  // emitted "1e+03" for n=1000), while fractional bounds keep full
+  // precision.
+  const std::string path = "BENCH_fmt_roundtrip_test.json";
+  {
+    bench::reporter rep("fmt_roundtrip_test");
+    rep.add("row_a", 1000.0, 250000.0, 352957.97);
+    rep.add("row_b", 100000.0, 0.0, 0.0);
+    rep.note("cells", 64.0);
+    ASSERT_EQ(rep.finish(true), 0);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"n_values\":[1000,100000]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"measured\":[250000,0]"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("1e+03"), std::string::npos) << doc;
+
+  const auto parsed = telemetry::json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  const auto& bounds = parsed->find("predicted_bound")->as_array();
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds[0].as_number(), 352957.97);
+  const auto& notes = parsed->find("notes")->as_object();
+  EXPECT_EQ(notes.at("cells").as_number(), 64.0);
+  std::remove(path.c_str());
 }
 
 TEST(Json, ParserHandlesEscapesAndRejectsGarbage) {

@@ -220,6 +220,84 @@ bool check_profile(const std::string& path, const json_value& prof) {
   return ok;
 }
 
+/// "wire" (optional; present when the binary codec was armed):
+/// {"enabled": bool, "bytes_sent", "frames", "by_type": {type: {"count",
+/// "bytes"}, ...}} — non-negative numerics, every per-type byte total at
+/// least its frame count (each frame carries >= 1 header byte), and when
+/// the same type appears in messages_by_type its wire frame count must not
+/// exceed the recorded message count (chaos duplicates re-record stats but
+/// not wire frames; they are never lower).
+bool check_wire(const std::string& path, const json_value& wire,
+                const json_value* messages_by_type) {
+  if (!wire.is_object())
+    return complain(path, wire.offset, "\"wire\" is not an object");
+  bool ok = true;
+  if (const json_value* v = wire.find("enabled"); v == nullptr || !v->is_bool())
+    ok = complain(path, wire.offset, "wire missing \"enabled\" bool");
+  for (const char* k : {"bytes_sent", "frames"}) {
+    const json_value* v = wire.find(k);
+    if (v == nullptr || !v->is_number()) {
+      ok = complain(path, wire.offset,
+                    "wire missing numeric \"" + std::string(k) + "\"");
+    } else if (v->as_number() < 0.0) {
+      ok = complain(path, v->offset,
+                    "wire \"" + std::string(k) + "\" is negative");
+    }
+  }
+  const json_value* by_type = wire.find("by_type");
+  if (by_type == nullptr || !by_type->is_object())
+    return complain(path, wire.offset, "wire missing \"by_type\" object");
+  double frames_sum = 0.0, bytes_sum = 0.0;
+  for (const auto& [type, entry] : by_type->as_object()) {
+    if (!entry.is_object()) {
+      ok = complain(path, entry.offset,
+                    "wire type \"" + type + "\" is not an object");
+      continue;
+    }
+    double count = -1.0, bytes = -1.0;
+    for (const char* k : {"count", "bytes"}) {
+      const json_value* v = entry.find(k);
+      if (v == nullptr || !v->is_number()) {
+        ok = complain(path, entry.offset,
+                      "wire type \"" + type + "\" missing numeric \"" +
+                          std::string(k) + "\"");
+      } else if (v->as_number() < 0.0) {
+        ok = complain(path, v->offset,
+                      "wire type \"" + type + "\" has negative \"" +
+                          std::string(k) + "\"");
+      } else {
+        (k[0] == 'c' ? count : bytes) = v->as_number();
+      }
+    }
+    if (count >= 0.0 && bytes >= 0.0 && bytes < count)
+      ok = complain(path, entry.offset,
+                    "wire type \"" + type + "\" has fewer bytes than frames");
+    if (count >= 0.0) frames_sum += count;
+    if (bytes >= 0.0) bytes_sum += bytes;
+    if (count >= 0.0 && messages_by_type != nullptr &&
+        messages_by_type->is_object()) {
+      if (const json_value* m = messages_by_type->find(type)) {
+        const json_value* mc = m->find("count");
+        if (mc != nullptr && mc->is_number() && count > mc->as_number())
+          ok = complain(path, entry.offset,
+                        "wire type \"" + type +
+                            "\" counts more frames than messages_by_type");
+      }
+    }
+  }
+  const json_value* frames = wire.find("frames");
+  if (frames != nullptr && frames->is_number() &&
+      frames->as_number() != frames_sum)
+    ok = complain(path, frames->offset,
+                  "wire \"frames\" does not equal the by_type sum");
+  const json_value* bytes = wire.find("bytes_sent");
+  if (bytes != nullptr && bytes->is_number() &&
+      bytes->as_number() != bytes_sum)
+    ok = complain(path, bytes->offset,
+                  "wire \"bytes_sent\" does not equal the by_type sum");
+  return ok;
+}
+
 /// "provenance": {"schema", "git_sha", "build_type", "compiler", "host"} —
 /// the shared stamp bench_report.h writes into every BENCH_*.json.
 bool check_provenance(const std::string& path, const json_value& prov) {
@@ -258,6 +336,10 @@ bool check_report(const std::string& path, const json_value& doc) {
   if (v3 && prof == nullptr)
     ok = complain(path, doc.offset, "missing required key \"profile\"");
   if (prof != nullptr) ok = check_profile(path, *prof) && ok;
+  // "wire" is optional at every version (emitted only when the codec was
+  // armed), but when present its shape must be right.
+  if (const json_value* wire = doc.find("wire"))
+    ok = check_wire(path, *wire, doc.find("messages_by_type")) && ok;
   return ok;
 }
 
@@ -378,7 +460,9 @@ void print_help(std::ostream& os) {
         "  --report  run reports: known report_version, required keys,\n"
         "            series sample times strictly increasing with\n"
         "            equal-length columns, watchdog shape, profile shape\n"
-        "            (required from report_version 3 on)\n"
+        "            (required from report_version 3 on), and the optional\n"
+        "            wire block (per-type byte counters consistent with\n"
+        "            messages_by_type)\n"
         "  --trace   Chrome trace-event / Perfetto traces: well-formed\n"
         "            events, balanced s/f flow pairs, counter values\n"
         "\n"
