@@ -47,6 +47,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/parse.h"
 #include "common/version.h"
 #include "core/checker.h"
 #include "core/runner.h"
@@ -84,6 +85,22 @@ using namespace asyncrd;
   std::exit(2);
 }
 
+/// Checked numeric conversions: a malformed value exits through usage()
+/// naming the flag it came from, instead of std::stoull throwing out of
+/// main into std::terminate.
+std::uint64_t num_u64(const std::string& flag, const std::string& text) {
+  const auto v = parse_u64(text);
+  if (!v) usage((flag + ": expected a non-negative integer, got '" + text +
+                 "'").c_str());
+  return *v;
+}
+
+double num_double(const std::string& flag, const std::string& text) {
+  const auto v = parse_double(text);
+  if (!v) usage((flag + ": expected a number, got '" + text + "'").c_str());
+  return *v;
+}
+
 sim::fault_plan parse_chaos(const std::string& spec) {
   sim::fault_plan plan;
   std::istringstream ss(spec);
@@ -93,15 +110,15 @@ sim::fault_plan parse_chaos(const std::string& spec) {
     if (eq == std::string::npos) usage("--chaos items are key=value");
     const std::string k = item.substr(0, eq);
     const std::string v = item.substr(eq + 1);
-    if (k == "drop") plan.drop = std::stod(v);
-    else if (k == "dup") plan.duplicate = std::stod(v);
-    else if (k == "slack") plan.reorder_slack = std::stoull(v);
-    else if (k == "seed") plan.seed = std::stoull(v);
+    if (k == "drop") plan.drop = num_double("--chaos drop", v);
+    else if (k == "dup") plan.duplicate = num_double("--chaos dup", v);
+    else if (k == "slack") plan.reorder_slack = num_u64("--chaos slack", v);
+    else if (k == "seed") plan.seed = num_u64("--chaos seed", v);
     else if (k == "outage") {
       const std::size_t colon = v.find(':');
       if (colon == std::string::npos) usage("--chaos outage=PERIOD:DURATION");
-      plan.outage_period = std::stoull(v.substr(0, colon));
-      plan.outage_duration = std::stoull(v.substr(colon + 1));
+      plan.outage_period = num_u64("--chaos outage", v.substr(0, colon));
+      plan.outage_duration = num_u64("--chaos outage", v.substr(colon + 1));
     } else {
       usage(("unknown --chaos key " + k).c_str());
     }
@@ -117,9 +134,9 @@ graph::digraph generate(const std::string& spec) {
   std::string tok;
   std::size_t n = 0, extra = 0;
   std::uint64_t seed = 1;
-  if (std::getline(ss, tok, ':')) n = std::stoull(tok);
-  if (std::getline(ss, tok, ':')) extra = std::stoull(tok);
-  if (std::getline(ss, tok, ':')) seed = std::stoull(tok);
+  if (std::getline(ss, tok, ':')) n = num_u64("--gen N", tok);
+  if (std::getline(ss, tok, ':')) extra = num_u64("--gen EXTRA", tok);
+  if (std::getline(ss, tok, ':')) seed = num_u64("--gen SEED", tok);
   if (n == 0) usage("--gen needs KIND:N");
   if (kind == "random") return graph::random_weakly_connected(n, extra, seed);
   if (kind == "tree") return graph::directed_binary_tree(n);
@@ -149,22 +166,22 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--variant") variant_name = next();
-    else if (a == "--seed") seed = std::stoull(next());
+    else if (a == "--seed") seed = num_u64(a, next());
     else if (a == "--gen") gen_spec = next();
-    else if (a == "--probe") probe_from = static_cast<node_id>(std::stoull(next()));
+    else if (a == "--probe") probe_from = static_cast<node_id>(num_u64(a, next()));
     else if (a == "--dot") want_dot = true;
     else if (a == "--quiet") quiet = true;
     else if (a == "--json") json_path = next();
     else if (a == "--trace") trace_path = next();
     else if (a == "--chaos") chaos_spec = next();
-    else if (a == "--series") series_interval = std::stoull(next());
-    else if (a == "--watchdog") watchdog_window = std::stoull(next());
+    else if (a == "--series") series_interval = num_u64(a, next());
+    else if (a == "--watchdog") watchdog_window = num_u64(a, next());
     else if (a == "--flight") flight_path = next();
     else if (a == "--profile") profile = true;
     else if (a == "--wire") wire = true;
     else if (a == "--shards") {
       parallel = true;
-      shards = std::stoull(next());
+      shards = num_u64(a, next());
     }
     else if (a == "--version") {
       std::cout << "asyncrd " << asyncrd::version << '\n';

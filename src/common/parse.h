@@ -1,0 +1,44 @@
+// Checked numeric parsing for CLI surfaces.
+//
+// Every number a user can type — flag values, spec fields like
+// drop=P or KIND:N:EXTRA:SEED — must fail with a named flag and the
+// documented usage exit code, never an uncaught std::invalid_argument out
+// of std::stoull (which lands in std::terminate).  These helpers return
+// nullopt on anything but a complete, in-range literal; each binary maps
+// nullopt to its own usage() path so the error names the offending flag.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace asyncrd {
+
+/// Full-string unsigned decimal parse: no sign, no whitespace, no trailing
+/// characters, no overflow.  "12" -> 12; "abc", "12x", "", "-1" -> nullopt.
+inline std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  std::uint64_t v = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || text.empty()) return std::nullopt;
+  return v;
+}
+
+/// Full-string floating-point parse (decimal or scientific).  Same
+/// everything-or-nothing contract as parse_u64; "inf"/"nan" are rejected —
+/// no CLI knob here (probabilities, tolerances) means anything non-finite.
+inline std::optional<double> parse_double(std::string_view text) noexcept {
+  double v = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] =
+      std::from_chars(first, last, v, std::chars_format::general);
+  if (ec != std::errc{} || ptr != last || text.empty()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace asyncrd

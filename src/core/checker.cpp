@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -117,6 +118,107 @@ check_report check_final_state(
     // Bounded: Theorem 4 — the leader detects termination.
     if (run.cfg().algo == variant::bounded &&
         leader.status() != status_t::terminated)
+      fail("bounded leader " + std::to_string(lid) +
+           " did not detect termination");
+  }
+  return rep;
+}
+
+check_report check_membership(
+    const std::vector<member_state>& members,
+    const std::vector<std::vector<node_id>>& components, variant algo) {
+  check_report rep;
+  auto fail = [&rep](const std::string& s) { rep.violations.push_back(s); };
+
+  std::map<node_id, const member_state*> by_id;
+  for (const member_state& m : members) {
+    if (!by_id.emplace(m.id, &m).second)
+      fail(describe(m.id) + " reported twice");
+  }
+
+  for (const auto& comp : components) {
+    // --- property (4): exactly one leader per weakly connected component.
+    std::vector<node_id> leaders;
+    bool complete = true;
+    for (const node_id v : comp) {
+      const auto it = by_id.find(v);
+      if (it == by_id.end()) {
+        fail(describe(v) + " missing from the membership report");
+        complete = false;
+        continue;
+      }
+      const member_state& m = *it->second;
+      if (m.status == status_t::asleep) fail(describe(v) + " never woke up");
+      if (m.is_leader()) leaders.push_back(v);
+    }
+    if (!complete) continue;
+    if (leaders.size() != 1) {
+      std::ostringstream ss;
+      ss << "component of " << describe(comp.front()) << " has "
+         << leaders.size() << " leaders (expected 1)";
+      fail(ss.str());
+      continue;
+    }
+    const node_id lid = leaders.front();
+    const member_state& leader = *by_id.at(lid);
+
+    // --- property (2): the leader knows the ids of all its nodes.
+    const std::set<node_id> done(leader.done.begin(), leader.done.end());
+    const std::set<node_id> expected(comp.begin(), comp.end());
+    if (done != expected) {
+      std::ostringstream ss;
+      ss << "leader " << lid << " done-set mismatch: knows " << done.size()
+         << " of " << expected.size() << " ids";
+      for (const node_id v : expected)
+        if (!done.contains(v)) ss << "; missing " << v;
+      for (const node_id v : done)
+        if (!expected.contains(v)) ss << "; extraneous " << v;
+      fail(ss.str());
+    }
+    if (!leader.more_empty)
+      fail("leader " + std::to_string(lid) + " has a non-empty more set");
+    if (!leader.unaware_empty)
+      fail("leader " + std::to_string(lid) + " has a non-empty unaware set");
+
+    // --- properties (1) and (3)/(3a,3b): non-leaders are inactive and
+    // know / can reach the leader.
+    for (const node_id v : comp) {
+      const member_state& m = *by_id.at(v);
+      if (v != lid) {
+        if (m.status != status_t::inactive)
+          fail(describe(v) + " finished in state " +
+               std::string(to_string(m.status)) + " (expected inactive)");
+        if (algo == variant::adhoc) {
+          // (3b): next pointers induce a directed path to the leader.
+          node_id cur = v;
+          std::size_t hops = 0;
+          while (cur != lid && hops <= comp.size()) {
+            const auto cit = by_id.find(cur);
+            if (cit == by_id.end()) break;
+            const node_id nxt = cit->second->next;
+            if (nxt == cur) break;
+            cur = nxt;
+            ++hops;
+          }
+          if (cur != lid)
+            fail(describe(v) + " next-pointer chain does not reach leader " +
+                 std::to_string(lid));
+        } else {
+          // (3): all nodes know the id of their leader directly.
+          if (m.next != lid)
+            fail(describe(v) + " next = " + std::to_string(m.next) +
+                 " but leader is " + std::to_string(lid));
+        }
+      }
+      // No parked work may remain anywhere.
+      if (m.has_deferred)
+        fail(describe(v) + " still holds deferred messages");
+      if (m.has_pending)
+        fail(describe(v) + " still holds queued search/probe requests");
+    }
+
+    // Bounded: Theorem 4 — the leader detects termination.
+    if (algo == variant::bounded && leader.status != status_t::terminated)
       fail("bounded leader " + std::to_string(lid) +
            " did not detect termination");
   }

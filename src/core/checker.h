@@ -38,6 +38,33 @@ check_report check_final_state(
     const discovery_run& run,
     const std::vector<std::vector<node_id>>& components);
 
+/// Portable snapshot of one node's checkable final state — what a
+/// service-mode process reports over the control plane (net/envelope.h
+/// dg_state) so the orchestrator can verify a cluster it does not host.
+/// Mirrors exactly the fields check_final_state reads off a live node.
+struct member_state {
+  node_id id = invalid_node;
+  status_t status = status_t::asleep;
+  node_id next = invalid_node;
+  bool has_deferred = false;
+  bool has_pending = false;   ///< pending_queue_depth() != 0
+  bool more_empty = true;
+  bool unaware_empty = true;
+  /// The node's done set (leaders only need it; harmless elsewhere).
+  std::vector<node_id> done;
+
+  bool is_leader() const noexcept { return is_leader_status(status); }
+};
+
+/// check_final_state's logic over member_state snapshots instead of a live
+/// discovery_run: exactly one leader per weak component, leader's done set
+/// equals the component, non-leaders inactive and routed to the leader
+/// (next-pointer chain for adhoc), no parked work anywhere, bounded leader
+/// terminated.  Members missing from `members` are reported as violations.
+check_report check_membership(
+    const std::vector<member_state>& members,
+    const std::vector<std::vector<node_id>>& components, variant algo);
+
 /// Lemma 5.1 invariant, evaluated after every delivery when installed as
 /// the network observer: every component retains >= 1 leader-state node.
 /// Violations are accumulated (with timestamps) rather than thrown.

@@ -375,4 +375,15 @@ probe_reply_view decode_probe_reply(const sim::wire_msg& w);
 report_view decode_report(const sim::wire_msg& w);
 report_ack_view decode_report_ack(const sim::wire_msg& w);
 
+/// type_name of the core message with inner tag `tag` ("" if the tag is not
+/// in the vocabulary).  Static storage duration — safe to hand to the
+/// raw-frame sim::wire_msg constructor.
+std::string_view tag_name(std::uint8_t tag) noexcept;
+
+/// Full validation of one encoded frame (header byte included) as received
+/// off a socket: known inner tag, payload parses under that tag's grammar,
+/// no trailing bytes.  Throws sim::wire::decode_error on anything hostile;
+/// a frame that passes is safe to box as a wire_msg and deliver.
+void validate_frame(const std::uint8_t* data, std::size_t len);
+
 }  // namespace asyncrd::core::wire

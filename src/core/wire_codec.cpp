@@ -289,4 +289,99 @@ report_ack_view decode_report_ack(const sim::wire_msg& w) {
   return v;
 }
 
+std::string_view tag_name(std::uint8_t tag) noexcept {
+  // Must mirror the struct type_name() literals exactly: service-mode wire
+  // accounting keys frames by these names and is compared against sim runs.
+  switch (static_cast<msg_kind>(tag)) {
+    case msg_kind::query: return "query";
+    case msg_kind::query_reply: return "query_reply";
+    case msg_kind::search: return "search";
+    case msg_kind::release: return "release";
+    case msg_kind::merge_accept: return "merge_accept";
+    case msg_kind::merge_fail: return "merge_fail";
+    case msg_kind::info: return "info";
+    case msg_kind::conquer: return "conquer";
+    case msg_kind::member_reply: return "more_done";
+    case msg_kind::probe: return "probe";
+    case msg_kind::probe_reply: return "probe_reply";
+    case msg_kind::report: return "report";
+    case msg_kind::report_ack: return "report_ack";
+  }
+  return "";
+}
+
+void validate_frame(const std::uint8_t* data, std::size_t len) {
+  if (len == 0) throw sim::wire::decode_error("wire: empty frame");
+  const std::uint8_t header = data[0];
+  if ((header & sim::wire::wire_bit) == 0)
+    throw sim::wire::decode_error("wire: header missing wire bit");
+  const auto tag = static_cast<std::uint8_t>(header & ~sim::wire::wire_bit);
+  reader r(data + 1, len - 1);
+  // One arm per type, parsing exactly what the matching decoder parses —
+  // every scalar range check, delta-set rule, and the no-trailing-bytes
+  // rule — without materializing a view struct.  A frame that passes here
+  // is safe to box as a wire_msg and hand to node::handle_wire.
+  switch (static_cast<msg_kind>(tag)) {
+    case msg_kind::query:
+      r.varint();
+      break;
+    case msg_kind::query_reply:
+      sim::wire::id_set_view::parse(r);
+      rd_bool(r);
+      break;
+    case msg_kind::search:
+      rd_id(r);
+      rd_phase(r);
+      rd_id(r);
+      rd_bool(r);
+      break;
+    case msg_kind::release:
+      rd_id(r);
+      rd_phase(r);
+      rd_bool(r);
+      rd_id(r);
+      break;
+    case msg_kind::merge_accept:
+      rd_id(r);
+      rd_phase(r);
+      break;
+    case msg_kind::merge_fail:
+      break;
+    case msg_kind::info:
+      rd_phase(r);
+      sim::wire::id_set_view::parse(r);
+      sim::wire::id_set_view::parse(r);
+      sim::wire::id_set_view::parse(r);
+      sim::wire::id_set_view::parse(r);
+      break;
+    case msg_kind::conquer:
+      rd_id(r);
+      rd_phase(r);
+      break;
+    case msg_kind::member_reply:
+      rd_bool(r);
+      break;
+    case msg_kind::probe:
+      rd_id(r);
+      break;
+    case msg_kind::probe_reply:
+      rd_id(r);
+      rd_phase(r);
+      rd_id(r);
+      sim::wire::id_set_view::parse(r);
+      break;
+    case msg_kind::report:
+      rd_id(r);
+      break;
+    case msg_kind::report_ack:
+      rd_id(r);
+      rd_phase(r);
+      rd_id(r);
+      break;
+    default:
+      throw sim::wire::decode_error("wire: unknown frame tag");
+  }
+  r.expect_end();
+}
+
 }  // namespace asyncrd::core::wire

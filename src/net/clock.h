@@ -1,0 +1,46 @@
+// Wall-clock tick source for service mode.
+//
+// The ARQ's retransmit policy (sim/reliable_link.h) is stated in abstract
+// sim_time units: rto_initial = 256, rto_max = 16384, jitter drawn below
+// rto/2.  Service mode keeps the exact same config numbers and maps one
+// tick to 100 microseconds of steady_clock time, so the first retransmit
+// fires after ~25.6 ms (comfortably above a loopback round trip) and the
+// backoff cap sits at ~1.6 s.  udp_transport::advance_to() consumes these
+// ticks; it never reads the clock itself, which keeps the transport
+// testable with a hand-fed time source.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "sim/scheduler.h"
+
+namespace asyncrd::net {
+
+/// Nanoseconds per sim_time tick in service mode.
+inline constexpr std::uint64_t tick_ns = 100'000;  // 100 µs
+
+class tick_clock {
+ public:
+  tick_clock() noexcept : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Monotone ticks elapsed since construction.
+  sim::sim_time ticks() const noexcept {
+    const auto dt = std::chrono::steady_clock::now() - origin_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+    return static_cast<sim::sim_time>(static_cast<std::uint64_t>(ns) /
+                                      tick_ns);
+  }
+
+  /// Milliseconds elapsed since construction (run-report wall_ms).
+  double elapsed_ms() const noexcept {
+    const auto dt = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration<double, std::milli>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace asyncrd::net

@@ -1,0 +1,93 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace asyncrd::net {
+
+namespace {
+
+sockaddr_in to_sockaddr(const endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.ip);
+  sa.sin_port = htons(ep.port);
+  return sa;
+}
+
+endpoint from_sockaddr(const sockaddr_in& sa) {
+  return {ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+[[noreturn]] void die(const char* what) {
+  throw std::runtime_error(std::string("udp_socket: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+udp_socket::udp_socket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) die("socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    die("fcntl(O_NONBLOCK)");
+  }
+}
+
+udp_socket::~udp_socket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void udp_socket::bind_loopback(std::uint16_t port) {
+  sockaddr_in sa = to_sockaddr(loopback(port));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0)
+    die("bind");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    die("getsockname");
+  port_ = ntohs(bound.sin_port);
+}
+
+bool udp_socket::send_to(const endpoint& to, const std::uint8_t* data,
+                         std::size_t len) {
+  const sockaddr_in sa = to_sockaddr(to);
+  const ssize_t n =
+      ::sendto(fd_, data, len, 0, reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa));
+  return n == static_cast<ssize_t>(len);
+}
+
+std::ptrdiff_t udp_socket::recv_from(endpoint& from, std::uint8_t* buf,
+                                     std::size_t cap) {
+  sockaddr_in sa{};
+  socklen_t salen = sizeof(sa);
+  const ssize_t n = ::recvfrom(fd_, buf, cap, 0,
+                               reinterpret_cast<sockaddr*>(&sa), &salen);
+  if (n < 0) return -1;  // EWOULDBLOCK and friends: nothing pending
+  from = from_sockaddr(sa);
+  return n;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+}  // namespace asyncrd::net

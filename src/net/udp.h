@@ -1,0 +1,83 @@
+// Thin RAII wrapper over a non-blocking IPv4/UDP socket (service mode).
+//
+// Service mode (docs/DESIGN.md §11) runs the discovery engine over real
+// datagrams instead of the simulator's calendar queue.  Everything here is
+// deliberately minimal: bind to loopback, send a datagram, drain pending
+// datagrams, poll for readability.  The protocol — ARQ envelopes, wire
+// frames, the control plane — lives above, in net/envelope.h and
+// net/udp_transport.h; this file knows only bytes and endpoints.
+//
+// Loss model: UDP gives us exactly the lossy/duplicating wire the
+// fault_plan simulates, so the reliable-link ARQ (sim/reliable_link.h) runs
+// unmodified on top.  A send that the kernel refuses (full socket buffer)
+// is reported as `false` and treated by callers as a wire drop — the ARQ
+// retransmit path recovers it, same as any other lost datagram.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asyncrd::net {
+
+/// IPv4 endpoint, host byte order.
+struct endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const endpoint& o) const noexcept {
+    return ip == o.ip && port == o.port;
+  }
+  bool operator!=(const endpoint& o) const noexcept { return !(*this == o); }
+};
+
+inline constexpr std::uint32_t loopback_ip = 0x7F00'0001;  // 127.0.0.1
+
+inline endpoint loopback(std::uint16_t port) noexcept {
+  return {loopback_ip, port};
+}
+
+/// Largest datagram the receive path accepts.  Well above any frame the
+/// protocol emits for the cluster sizes service mode targets; a datagram
+/// the kernel truncates past this is malformed by definition and the
+/// caller counts it as a decode drop.
+inline constexpr std::size_t max_datagram = 65507;
+
+class udp_socket {
+ public:
+  /// Creates an unbound non-blocking socket; throws std::runtime_error if
+  /// the kernel refuses (fd exhaustion).
+  udp_socket();
+  ~udp_socket();
+
+  udp_socket(const udp_socket&) = delete;
+  udp_socket& operator=(const udp_socket&) = delete;
+
+  /// Binds to 127.0.0.1:port (port 0 = kernel-assigned ephemeral port).
+  /// Throws std::runtime_error on failure.
+  void bind_loopback(std::uint16_t port = 0);
+
+  /// The bound port (0 before bind_loopback).
+  std::uint16_t port() const noexcept { return port_; }
+  int fd() const noexcept { return fd_; }
+
+  /// True if the kernel accepted the datagram; false on EWOULDBLOCK or any
+  /// transient refusal (the caller treats it as a wire drop).
+  bool send_to(const endpoint& to, const std::uint8_t* data, std::size_t len);
+
+  /// Receives one pending datagram into buf.  Returns its length (possibly
+  /// 0 for an empty datagram), or -1 when nothing is pending.  A datagram
+  /// longer than cap is consumed and returned truncated with length cap +
+  /// 1 sentinel semantics avoided: callers pass cap >= max_datagram, so
+  /// truncation only happens for datagrams no valid peer sends.
+  std::ptrdiff_t recv_from(endpoint& from, std::uint8_t* buf, std::size_t cap);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocks until fd is readable or timeout_ms elapses.  Returns true when
+/// readable, false on timeout.  timeout_ms == 0 polls without blocking.
+bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace asyncrd::net

@@ -358,6 +358,20 @@ void network::send_internal(node_id from, node_id to, message_ptr m) {
   // application bytes *offered* to the transport: chaos drops/duplicates
   // and ARQ retransmissions below this line don't change them.
   if (codec_ != nullptr) m = wire_encode(std::move(m));
+  // Service mode: a destination this network does not host exits through
+  // the gateway.  Accounted like any send (stats, observers) so a
+  // multi-process run reports the same per-node totals as a sim run; the
+  // gateway's own transport handles reliability, so the local fault plan
+  // and link adapter do not apply.
+  if (gateway_ != nullptr && index_of(to) == npos) {
+    stats_.record(*m);
+    if (!observers_.empty()) {
+      prof_scope ps(prof_, cost_profiler::phase::observers);
+      observers_.on_send(now_, from, to, *m);
+    }
+    gateway_->remote_send(from, to, std::move(m));
+    return;
+  }
   // With a reliable-delivery adapter installed, application sends detour
   // through it; the adapter re-enters via transport_send with its envelopes.
   if (adapter_ != nullptr) {
@@ -503,6 +517,34 @@ void network::app_deliver(node_id to, node_id from, const message_ptr& m) {
   // under an adapter (the enclosing arq span pauses here).
   prof_scope ps(prof_, m->dispatch_tag(), prof_scope::tag_t{});
   slots_[to_index].proc->on_message(ctx, from, m);
+}
+
+void network::inject_remote(node_id to, node_id from, const message_ptr& m) {
+  assert(m != nullptr);
+  if (tctx_.active)
+    throw std::logic_error("inject_remote from inside an activation");
+  const std::uint32_t to_index = index_of(to);
+  if (to_index == npos)
+    throw std::invalid_argument("inject_remote: unknown destination");
+  // One remote arrival is one delivery activation, exactly like the manual
+  // stepper's delivery arm: virtual time advances by a tick, the node wakes
+  // if this is its first contact, and observers see a normal delivery.  The
+  // causal parents are none — the sending activation lives in another
+  // process; cross-process genealogy is the trace merger's job, not ours.
+  ++now_;
+  ensure_awake(to_index, trace_context::none, trace_context::none);
+  begin_activation(trace_context::none, trace_context::none, now_);
+  if (flight_ != nullptr)
+    flight_->record({now_, tctx_.event_id, trace_context::none, from, to,
+                     flight_entry::kind::deliver, m->dispatch_tag()});
+  if (!observers_.empty()) {
+    prof_scope ps(prof_, cost_profiler::phase::observers);
+    observers_.on_deliver(now_, from, to, *m);
+  }
+  ++app_deliveries_;
+  context ctx(*this, to);
+  slots_[to_index].proc->on_message(ctx, from, m);
+  end_activation();
 }
 
 void network::schedule_adapter_timer(sim_time delay, std::uint64_t key) {

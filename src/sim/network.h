@@ -50,6 +50,7 @@
 #include "sim/profiler.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
+#include "sim/transport.h"
 #include "sim/wire.h"
 
 namespace asyncrd::sim {
@@ -139,6 +140,19 @@ class link_adapter {
   /// ordered channel.  Adapters pre-create per-channel receive state here
   /// so the worker-phase lookups never insert into shared tables.
   virtual void prepare_channel(node_id /*from*/, node_id /*to*/) {}
+};
+
+/// Egress hook for destinations this network does not host (service mode).
+/// With a gateway installed, an application send whose destination id is not
+/// a local node is handed here — after wire encoding and accounting, before
+/// the local fault plan or link adapter see it — instead of throwing
+/// "unknown destination".  The gateway (src/net/node_host.h) carries the
+/// frame to the owning process over its own transport; the reply path comes
+/// back through network::inject_remote.
+class remote_gateway {
+ public:
+  virtual ~remote_gateway() = default;
+  virtual void remote_send(node_id from, node_id to, message_ptr m) = 0;
 };
 
 /// Per-worker sink for network effects generated inside a parallel window
@@ -281,7 +295,7 @@ struct trace_context {
   bool active = false;
 };
 
-class network {
+class network : public transport {
  public:
   explicit network(scheduler& sched) : sched_(&sched) {}
 
@@ -351,6 +365,28 @@ class network {
   void set_link_adapter(link_adapter* a);
   link_adapter* adapter() const noexcept { return adapter_; }
 
+  /// Seed for adapter jitter streams (sim::transport): the fault-plan seed,
+  /// so a chaos execution replays bit for bit whichever driver the adapter
+  /// runs over.
+  std::uint64_t link_seed() const noexcept override { return plan_.seed; }
+
+  // --- service mode (src/net/) -------------------------------------------
+  //
+  // A multi-process deployment hosts a subset of the graph's nodes on each
+  // network instance.  Sends to non-local ids exit through the gateway;
+  // datagrams arriving from peer processes re-enter via inject_remote.
+
+  /// Installs (nullptr uninstalls) the egress gateway (not owned; must
+  /// outlive the run).
+  void set_remote_gateway(remote_gateway* g) noexcept { gateway_ = g; }
+  remote_gateway* gateway() const noexcept { return gateway_; }
+
+  /// Delivers a message that arrived from a peer process to local node
+  /// `to`, as its own delivery activation (advances virtual time by one
+  /// tick, wakes the node if needed, fires observers).  `from` need not be
+  /// a local node.  Driver-level call: only valid between activations.
+  void inject_remote(node_id to, node_id from, const message_ptr& m);
+
   // --- wire mode ----------------------------------------------------------
   //
   // With a codec installed, every application send whose dispatch_tag has a
@@ -385,17 +421,17 @@ class network {
   /// use this to put envelopes and acks on the wire; the fault plan
   /// applies).  With no adapter installed this is exactly what
   /// context::send does.
-  void transport_send(node_id from, node_id to, message_ptr m);
+  void transport_send(node_id from, node_id to, message_ptr m) override;
 
   /// Delivers an application message to `to`'s process.  Only valid inside
   /// a delivery activation (adapters call it from transport_deliver after
   /// reassembling FIFO order); the activation's causal identity covers all
   /// messages released this way.
-  void app_deliver(node_id to, node_id from, const message_ptr& m);
+  void app_deliver(node_id to, node_id from, const message_ptr& m) override;
 
   /// Schedules adapter::on_timer(key) at now + delay (delay >= 1).  Timer
   /// events are causally "between activations", like quiescence hooks.
-  void schedule_adapter_timer(sim_time delay, std::uint64_t key);
+  void schedule_adapter_timer(sim_time delay, std::uint64_t key) override;
 
   // --- execution ---------------------------------------------------------
 
@@ -438,7 +474,7 @@ class network {
   /// Fires one ready step (must be an element of manual_options()).
   void take_step(const manual_step& s);
 
-  sim_time now() const noexcept { return now_; }
+  sim_time now() const noexcept override { return now_; }
   stats& statistics() noexcept { return stats_; }
   const stats& statistics() const noexcept { return stats_; }
 
@@ -682,6 +718,7 @@ class network {
   fault_stats fault_stats_;
   bool faults_on_ = false;
   link_adapter* adapter_ = nullptr;
+  remote_gateway* gateway_ = nullptr;
   const wire_codec* codec_ = nullptr;
   std::array<wire_slot, 128> wire_slots_{};
   std::uint64_t wire_bytes_ = 0;

@@ -36,8 +36,7 @@ reliable_link_layer::sender_state& reliable_link_layer::sender_for(
   senders_.back().from = from;
   senders_.back().to = to;
   senders_.back().rto = cfg_.rto_initial;
-  senders_.back().jitter =
-      rng(net_->fault_config().seed ^ jitter_salt ^ key);
+  senders_.back().jitter = rng(net_->link_seed() ^ jitter_salt ^ key);
   sender_index_.insert(key, index);
   return senders_[index];
 }
@@ -139,7 +138,10 @@ void reliable_link_layer::handle_ack(node_id from, node_id to,
   if (index == flat_u64_map::npos) return;  // ack for nothing we sent
   sender_state& s = senders_[index];
   if (ack.ack <= s.base) return;  // stale cumulative ack
-  assert(ack.ack <= s.base + s.unacked.size());
+  // An ack above everything we ever sent cannot arise from our own data; it
+  // is hostile or corrupt (reachable over a real socket, so a guard, not an
+  // assert — never triggered by the simulator's own envelopes).
+  if (ack.ack > s.base + s.unacked.size()) return;
   const std::uint64_t acked = ack.ack - s.base;
   s.unacked.erase(s.unacked.begin(), s.unacked.begin() +
                                          static_cast<std::ptrdiff_t>(acked));

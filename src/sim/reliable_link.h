@@ -109,7 +109,10 @@ struct reliable_link_stats {
 
 class reliable_link_layer final : public link_adapter {
  public:
-  explicit reliable_link_layer(network& net, reliable_link_config cfg = {})
+  /// The adapter talks to its driver exclusively through the transport seam
+  /// (sim/transport.h): sim::network in simulation, net::udp_transport over
+  /// real sockets.  Same ARQ state machine, same jitter streams either way.
+  explicit reliable_link_layer(transport& net, reliable_link_config cfg = {})
       : net_(&net), cfg_(cfg) {}
 
   reliable_link_layer(const reliable_link_layer&) = delete;
@@ -193,7 +196,7 @@ class reliable_link_layer final : public link_adapter {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
-  network* net_;
+  transport* net_;
   reliable_link_config cfg_;
   reliable_link_stats stats_;
   std::uint64_t outstanding_ = 0;  ///< sum of unacked.size() over senders

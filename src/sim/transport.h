@@ -1,0 +1,53 @@
+// The transport seam: the five operations the reliable-link ARQ layer (and
+// anything else that sits between application sends and the wire) actually
+// needs from its driver.  Carved out of sim::network so the same adapter
+// code runs over two very different drivers:
+//
+//   * sim::network — virtual time, scheduler-chosen delays, deterministic
+//     fault injection, byte-identical replay;
+//   * net::udp_transport (src/net/) — real non-blocking UDP sockets, wall-
+//     clock retransmit timers, a genuinely lossy loopback/LAN wire.
+//
+// The contract mirrors how the simulator behaves, because the ARQ layer was
+// written against it:
+//
+//   now()                    monotone non-decreasing clock in abstract ticks
+//                            (virtual time in sim, wall-clock ticks in net).
+//   transport_send(f, t, m)  put one message on the wire, FIFO per ordered
+//                            pair; the wire may drop or duplicate it.
+//   app_deliver(t, f, m)     hand one application message to the
+//                            destination endpoint, in order.  Only valid
+//                            while the driver is delivering (sim: inside a
+//                            delivery activation).
+//   schedule_adapter_timer   fire link_adapter::on_timer(key) at
+//                            now() + delay.  Timers are one-shot; a driver
+//                            must guarantee that when a timer callback runs,
+//                            now() equals the time it was scheduled for —
+//                            the ARQ layer detects orphaned (superseded)
+//                            timers by comparing now() against the deadline
+//                            it stored at arm time.
+//   link_seed()              stable seed for the adapter's deterministic
+//                            jitter streams (the fault-plan seed in sim).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "sim/message.h"
+#include "sim/scheduler.h"
+
+namespace asyncrd::sim {
+
+class transport {
+ public:
+  virtual ~transport() = default;
+
+  virtual sim_time now() const noexcept = 0;
+  virtual void transport_send(node_id from, node_id to, message_ptr m) = 0;
+  virtual void app_deliver(node_id to, node_id from,
+                           const message_ptr& m) = 0;
+  virtual void schedule_adapter_timer(sim_time delay, std::uint64_t key) = 0;
+  virtual std::uint64_t link_seed() const noexcept = 0;
+};
+
+}  // namespace asyncrd::sim

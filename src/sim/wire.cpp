@@ -23,8 +23,15 @@ std::uint64_t reader::varint() {
 id_set_view id_set_view::parse(reader& r) {
   const std::uint64_t count = r.varint();
   const std::uint8_t* first = r.pos();
-  // Each id costs at least one byte, so an absurd count on a short frame
-  // fails below with "truncated varint" — no separate length pre-check.
+  // Hostile-frame bound: each id costs at least one byte, so a count larger
+  // than the remaining payload is malformed *by arithmetic* — reject it
+  // before any iteration or reservation keyed on the declared count.  (A
+  // few-byte crafted frame can claim a billion-element set; without this
+  // check the validation loop below would still throw, but only after
+  // walking the whole remainder, and any caller that sized storage from
+  // size() before iterating would allocate gigabytes first.)
+  if (count > r.remaining())
+    throw decode_error("wire: id set count exceeds frame");
   std::uint64_t cur = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t d = r.varint();
@@ -52,6 +59,17 @@ wire_msg::wire_msg(const message& inner, const std::uint8_t* frame,
       ints_(static_cast<std::uint32_t>(inner.int_fields())),
       flags_(static_cast<std::uint32_t>(inner.flag_bits())),
       len_(static_cast<std::uint32_t>(len)) {
+  std::uint8_t* dst = inline_;
+  if (len_ > inline_capacity) {
+    heap_ = static_cast<std::uint8_t*>(pool_detail::allocate(len_));
+    dst = heap_;
+  }
+  std::memcpy(dst, frame, len_);
+}
+
+wire_msg::wire_msg(const std::uint8_t* frame, std::size_t len,
+                   std::string_view name)
+    : message(frame[0]), name_(name), len_(static_cast<std::uint32_t>(len)) {
   std::uint8_t* dst = inline_;
   if (len_ > inline_capacity) {
     heap_ = static_cast<std::uint8_t*>(pool_detail::allocate(len_));

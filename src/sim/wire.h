@@ -91,6 +91,9 @@ class reader {
 
   bool done() const noexcept { return p_ == end_; }
   const std::uint8_t* pos() const noexcept { return p_; }
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
 
   std::uint8_t byte() {
     if (p_ == end_) throw decode_error("wire: truncated frame");
@@ -209,6 +212,14 @@ namespace asyncrd::sim {
 class wire_msg final : public message {
  public:
   wire_msg(const message& inner, const std::uint8_t* frame, std::size_t len);
+
+  /// Frame received off a socket: there is no inner struct to borrow the
+  /// bit accounting from, so the caller supplies the type name (static
+  /// storage duration; core::wire::tag_name) and the field counts stay 0 —
+  /// service-mode stats count frames and bytes, not paper bit fields.
+  /// Precondition: len >= 1 and frame[0] has wire_bit set (callers validate
+  /// the frame via the protocol codec before boxing it).
+  wire_msg(const std::uint8_t* frame, std::size_t len, std::string_view name);
   ~wire_msg() override;
 
   wire_msg(const wire_msg&) = delete;

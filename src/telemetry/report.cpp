@@ -38,6 +38,7 @@ void run_report::write_json(json_writer& w) const {
     w.kv("enabled", wire.enabled);
     w.kv("bytes_sent", wire.bytes_sent);
     w.kv("frames", wire.frames);
+    w.kv("decode_errors", wire.decode_errors);
     w.key("by_type").begin_object();
     for (const auto& [type, tb] : wire.by_type) {
       w.key(type).begin_object();

@@ -80,6 +80,11 @@ struct run_report {
     bool enabled = false;
     std::uint64_t bytes_sent = 0;
     std::uint64_t frames = 0;
+    /// Malformed or misrouted frames dropped at the receive path (service
+    /// mode; always 0 in simulation, where frames cannot corrupt).  Kept
+    /// out of `frames`/`bytes_sent` — those sum the by_type table exactly
+    /// and count only frames *offered* to the transport.
+    std::uint64_t decode_errors = 0;
     struct type_bytes {
       std::uint64_t count = 0;
       std::uint64_t bytes = 0;

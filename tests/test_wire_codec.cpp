@@ -455,5 +455,141 @@ TEST(Codec, RejectsUnsortedIdSetInPayload) {
   EXPECT_THROW(core::wire::decode_query_reply(as_wire(w)), decode_error);
 }
 
+// ---------------------------------------------------------------------------
+// Id-set count bound (service-mode hardening): a frame may declare at most
+// as many set elements as it has bytes left, since every element costs at
+// least one varint byte.  A hostile count must be rejected *before* any
+// element parsing or allocation — a 2^60 claim in a 3-byte frame would
+// otherwise spin the delta loop until it tripped on truncation.
+// ---------------------------------------------------------------------------
+
+TEST(IdSetView, RejectsCountExceedingFrame) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1ull << 60);  // claimed count
+  put_varint(buf, 1);           // one actual element
+  reader r(buf.data(), buf.size());
+  EXPECT_THROW(id_set_view::parse(r), decode_error);
+
+  // Boundary: count == remaining bytes is admissible (one byte per element
+  // is exactly achievable with single-byte varints).
+  std::vector<std::uint8_t> ok;
+  put_varint(ok, 3);
+  put_varint(ok, 1);
+  put_varint(ok, 1);
+  put_varint(ok, 1);
+  reader r2(ok.data(), ok.size());
+  EXPECT_EQ(materialize(id_set_view::parse(r2)),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+
+  // count == remaining + 1 must already fail the pre-check.
+  std::vector<std::uint8_t> over;
+  put_varint(over, 3);
+  put_varint(over, 1);
+  put_varint(over, 1);
+  reader r3(over.data(), over.size());
+  EXPECT_THROW(id_set_view::parse(r3), decode_error);
+}
+
+// ---------------------------------------------------------------------------
+// validate_frame: the full-grammar gate service mode runs on every datagram
+// payload before boxing it (net/udp_transport.h frame hooks).  Accepts
+// exactly the codec's output; rejects the malformed corpus with decode_error
+// rather than anything nastier.
+// ---------------------------------------------------------------------------
+
+std::vector<sim::message_ptr> one_of_each_encodable() {
+  std::vector<sim::message_ptr> all;
+  all.push_back(make<core::query_msg>(3));
+  all.push_back(make<core::query_reply_msg>(core::id_vec{4, 9, 1000}, true));
+  all.push_back(make<core::search_msg>(7, 2, 11, true));
+  all.push_back(make<core::release_msg>(5, 3,
+                                        core::release_msg::answer_t::merge, 7));
+  all.push_back(make<core::merge_accept_msg>(12, 4));
+  all.push_back(make<core::merge_fail_msg>());
+  all.push_back(make<core::info_msg>(3, core::id_vec{1, 2}, core::id_vec{5},
+                                     core::id_vec{}, core::id_vec{9, 40}));
+  all.push_back(make<core::conquer_msg>(9, 5));
+  all.push_back(make<core::member_reply_msg>(true));
+  all.push_back(make<core::probe_msg>(17));
+  all.push_back(make<core::probe_reply_msg>(3, 2, 17, core::id_vec{1, 4}));
+  all.push_back(make<core::report_msg>(6));
+  all.push_back(make<core::report_ack_msg>(3, 2, 6));
+  return all;
+}
+
+TEST(ValidateFrame, AcceptsEveryEncodedType) {
+  for (const auto& m : one_of_each_encodable()) {
+    const std::vector<std::uint8_t> frame = encode(*m);
+    EXPECT_NO_THROW(core::wire::validate_frame(frame.data(), frame.size()))
+        << m->type_name();
+    // tag_name mirrors the type_name literal the struct path reports, so
+    // service-mode stats bucket under the same keys as simulation stats.
+    EXPECT_EQ(core::wire::tag_name(frame[0] &
+                                   static_cast<std::uint8_t>(~sim::wire::wire_bit)),
+              m->type_name());
+  }
+}
+
+TEST(ValidateFrame, RejectsMalformedCorpus) {
+  const auto reject = [](std::vector<std::uint8_t> frame, const char* why) {
+    EXPECT_THROW(core::wire::validate_frame(frame.data(), frame.size()),
+                 decode_error)
+        << why;
+  };
+  reject({}, "empty datagram");
+  reject({0x03}, "header without wire bit (raw struct tag)");
+  reject({sim::wire::wire_bit | 0x00}, "wire bit with reserved tag 0");
+  reject({sim::wire::wire_bit | 0x7F}, "wire bit with unknown tag");
+  reject({0xE7, 0x01}, "ARQ envelope tag is not an application frame");
+
+  // Truncations of a valid frame: every strict prefix must be rejected
+  // (either a short varint, a missing field, or a bad flag byte).
+  const std::vector<std::uint8_t> good =
+      encode(*make<core::search_msg>(300, 2, 11, true));
+  ASSERT_NO_THROW(core::wire::validate_frame(good.data(), good.size()));
+  for (std::size_t cut = 1; cut < good.size(); ++cut)
+    reject({good.begin(), good.begin() + static_cast<std::ptrdiff_t>(cut)},
+           "truncated frame");
+
+  // Trailing garbage after a complete payload.
+  std::vector<std::uint8_t> padded = good;
+  padded.push_back(0x00);
+  reject(padded, "trailing bytes");
+
+  // A flag byte outside {0, 1}.
+  std::vector<std::uint8_t> badflag = good;
+  badflag.back() = 0x02;
+  reject(badflag, "non-boolean flag byte");
+
+  // Hostile id-set count inside a query_reply frame.
+  std::vector<std::uint8_t> hostile;
+  hostile.push_back(sim::wire::wire_bit |
+                    core::tag_of(core::msg_kind::query_reply));
+  put_varint(hostile, 1ull << 50);  // count far beyond the frame
+  put_varint(hostile, 1);
+  hostile.push_back(0x01);
+  reject(hostile, "id-set count exceeds frame");
+}
+
+TEST(ValidateFrame, FuzzRandomBytesNeverEscapeDecodeError) {
+  // 10k random datagrams: every outcome must be "accepted" or decode_error —
+  // anything else (crash, other exception) is exactly the discoveryd bug
+  // class this gate exists to stop.
+  std::mt19937_64 rng(0xF00DBABEull);
+  std::vector<std::uint8_t> buf;
+  for (int iter = 0; iter < 10000; ++iter) {
+    buf.resize(rng() % 64);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    if (!buf.empty() && rng() % 2 == 0)
+      buf[0] = sim::wire::wire_bit |
+               static_cast<std::uint8_t>(rng() % 16);  // plausible headers
+    try {
+      core::wire::validate_frame(buf.data(), buf.size());
+    } catch (const decode_error&) {
+      // counted drop in service mode; fine
+    }
+  }
+}
+
 }  // namespace
 }  // namespace asyncrd

@@ -244,6 +244,15 @@ bool check_wire(const std::string& path, const json_value& wire,
                     "wire \"" + std::string(k) + "\" is negative");
     }
   }
+  // "decode_errors" (service mode): optional, numeric, non-negative.  It
+  // counts malformed frames *dropped at receive*, so it is deliberately
+  // not part of the frames/bytes_sent sums checked below.
+  if (const json_value* v = wire.find("decode_errors")) {
+    if (!v->is_number())
+      ok = complain(path, v->offset, "wire \"decode_errors\" is not a number");
+    else if (v->as_number() < 0.0)
+      ok = complain(path, v->offset, "wire \"decode_errors\" is negative");
+  }
   const json_value* by_type = wire.find("by_type");
   if (by_type == nullptr || !by_type->is_object())
     return complain(path, wire.offset, "wire missing \"by_type\" object");

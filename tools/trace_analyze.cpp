@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench/bench_report.h"
+#include "common/parse.h"
 #include "telemetry/critical_path.h"
 #include "telemetry/json.h"
 #include "telemetry/parallelism.h"
@@ -496,7 +497,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--path-lines" && i + 1 < argc) {
-      path_lines = std::stoull(argv[++i]);
+      const auto v = asyncrd::parse_u64(argv[++i]);
+      if (!v) {
+        std::cerr << "trace_analyze: --path-lines: expected a non-negative "
+                     "integer, got '"
+                  << argv[i] << "'\n";
+        return exit_usage;
+      }
+      path_lines = static_cast<std::size_t>(*v);
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--flight") {
@@ -504,7 +512,14 @@ int main(int argc, char** argv) {
     } else if (a == "--parallelism") {
       parallelism = true;
     } else if (a == "--bucket" && i + 1 < argc) {
-      bucket = std::stoull(argv[++i]);
+      const auto v = asyncrd::parse_u64(argv[++i]);
+      if (!v || *v == 0) {
+        std::cerr << "trace_analyze: --bucket: expected a positive integer, "
+                     "got '"
+                  << argv[i] << "'\n";
+        return exit_usage;
+      }
+      bucket = *v;
     } else if (a == "--label" && i + 1 < argc) {
       labels.resize(files.size());
       labels.push_back(argv[++i]);
